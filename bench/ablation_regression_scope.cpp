@@ -1,0 +1,55 @@
+// Ablation: the neighbourhood scope of the local regression (Section 3.3
+// allows "k-hop neighbours for different sensor deployment densities or
+// to achieve different levels of estimation precision"). Compare k = 1
+// vs k = 2 at several densities: gradient quality, measurement traffic
+// and map fidelity.
+// Expectation: k = 2 pays a multiple of the local-measurement traffic
+// for a modest gradient improvement that only matters at low density.
+
+#include "bench/bench_common.hpp"
+#include "isomap/node_selection.hpp"
+#include "isomap/regression.hpp"
+
+using namespace isomap;
+using namespace isomap::bench;
+
+int main() {
+  banner("Ablation", "regression neighbourhood scope: 1-hop vs 2-hop",
+         "2-hop helps only at low density, at a measurement-traffic cost");
+
+  const int kSeeds = 3;
+  Table table({"density", "hops", "gradient_err_deg", "measurement_KB",
+               "accuracy_pct"});
+  for (const double density : {0.25, 1.0, 4.0}) {
+    for (const int hops : {1, 2}) {
+      RunningStats err, kb, acc;
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        ScenarioConfig config;
+        config.num_nodes = static_cast<int>(density * 2500.0 + 0.5);
+        config.seed = seed;
+        const Scenario s = make_scenario(config);
+        IsoMapOptions options;
+        options.query = default_query(s.field, 4);
+        options.query.regression_hops = hops;
+        const IsoMapRun run = run_isomap(s, options);
+        kb.add(run.result.measurement_traffic_bytes / 1024.0);
+        acc.add(mapping_accuracy(run.result.map, s.field,
+                                 options.query.isolevels(), 70) *
+                100.0);
+        for (const auto& report : run.result.sink_reports) {
+          const Vec2 true_pos = s.deployment.node(report.source).pos;
+          if (s.field.gradient(true_pos).norm() < 0.02) continue;
+          err.add(gradient_error_deg(s.field, true_pos, report.gradient));
+        }
+      }
+      table.row()
+          .cell(density, 2)
+          .cell(hops)
+          .cell(err.mean(), 2)
+          .cell(kb.mean(), 2)
+          .cell(acc.mean(), 1);
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

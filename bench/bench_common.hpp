@@ -1,0 +1,97 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction harnesses. Each bench
+// binary regenerates one table or figure of the paper (see DESIGN.md's
+// experiment index) and prints the same rows/series the paper reports.
+
+#include <iostream>
+#include <string>
+
+#include "eval/metrics.hpp"
+#include "eval/render.hpp"
+#include "sim/runners.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace isomap::bench {
+
+/// Print the standard figure banner.
+inline void banner(const std::string& id, const std::string& title,
+                   const std::string& paper_expectation) {
+  std::cout << "==================================================\n"
+            << id << ": " << title << "\n"
+            << "Paper expectation: " << paper_expectation << "\n"
+            << "==================================================\n";
+}
+
+/// A field side that yields roughly the requested routing-tree diameter
+/// (hop count from the centre sink to the farthest node) at unit density
+/// with radio range 1.5. Empirically one BFS hop advances ~1.0 units, and
+/// the farthest corner is side/sqrt(2) from the centre.
+inline double side_for_diameter(int diameter_hops) {
+  return diameter_hops * 1.41;
+}
+
+/// Scenario at unit density over a side x side field of scale-invariant
+/// sloped terrain — the Theorem 4.1 regime used by the scaling figures.
+inline Scenario sloped_scenario(double side, std::uint64_t seed,
+                                bool grid = false, double failures = 0.0) {
+  ScenarioConfig config;
+  config.field_side = side;
+  config.num_nodes = static_cast<int>(side * side + 0.5);
+  config.field = FieldKind::kSloped;
+  config.grid_deployment = grid;
+  config.failure_fraction = failures;
+  config.seed = seed;
+  return make_scenario(config);
+}
+
+/// Scenario over the paper's 50x50 harbor section with `n` nodes (the
+/// fidelity experiments' setup: densities 4 / 1 / 0.16 correspond to
+/// n = 10000 / 2500 / 400).
+inline Scenario harbor_scenario(int n, std::uint64_t seed, bool grid = false,
+                                double failures = 0.0) {
+  ScenarioConfig config;
+  config.num_nodes = n;
+  config.field_side = 50.0;
+  config.field = FieldKind::kHarbor;
+  config.grid_deployment = grid;
+  config.failure_fraction = failures;
+  config.seed = seed;
+  return make_scenario(config);
+}
+
+/// Mapping accuracy of a TinyDB reconstruction against the true field.
+inline double tinydb_accuracy(const TinyDBRun& run, const ScalarField& field,
+                              const std::vector<double>& levels,
+                              int resolution = 80) {
+  const LevelMap truth =
+      LevelMap::ground_truth(field, levels, resolution, resolution);
+  const LevelMap est = LevelMap::rasterize(
+      field.bounds(), resolution, resolution,
+      [&](Vec2 p) { return run.result.level_index(p, levels); });
+  return est.accuracy_against(truth);
+}
+
+/// Hausdorff distance (averaged over levels) of a TinyDB reconstruction.
+inline double tinydb_hausdorff(const TinyDBRun& run, const ScalarField& field,
+                               const std::vector<double>& levels,
+                               int resolution = 150) {
+  double total = 0.0;
+  int counted = 0;
+  for (double level : levels) {
+    const auto est = run.result.isolines(level, resolution);
+    if (est.empty()) continue;
+    const auto truth = true_isolines(field, level, resolution);
+    if (truth.empty()) continue;
+    const double h = hausdorff_distance(est, truth, 0.5);
+    if (std::isfinite(h)) {
+      total += h;
+      ++counted;
+    }
+  }
+  return counted ? total / counted
+                 : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace isomap::bench

@@ -1,0 +1,43 @@
+// Extension: map-collection latency under level-slotted TDMA
+// convergecast (the TAG scheme the paper assumes in Section 3.1 but does
+// not evaluate). Each tree level transmits in its own slot, sized to the
+// level's busiest node; the total is the time for one complete map
+// collection at the CC1000's 38.4 kbps.
+// Expectation: TinyDB's latency balloons with network size (nodes one
+// hop from the sink forward O(n) reports, so their slot dominates);
+// Iso-Map's near-sink forwarders carry only the filtered isoline
+// reports, so latency grows mildly with depth.
+
+#include "bench/bench_common.hpp"
+
+using namespace isomap;
+using namespace isomap::bench;
+
+int main() {
+  banner("Extension", "TDMA collection latency vs network diameter",
+         "TinyDB latency grows ~linearly with n; Iso-Map with depth only");
+
+  const int kSeeds = 3;
+  Table table({"diameter_hops", "nodes", "tinydb_latency_s",
+               "isomap_latency_s", "ratio"});
+  for (const int diameter : {10, 20, 30, 40, 50}) {
+    const double side = side_for_diameter(diameter);
+    RunningStats tinydb_s, iso_s;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const Scenario grid = sloped_scenario(side, seed, /*grid=*/true);
+      const Scenario random = sloped_scenario(side, seed);
+      tinydb_s.add(run_tinydb(grid).result.latency_s());
+      IsoMapOptions options;
+      options.query = scaling_query();
+      iso_s.add(run_isomap(random, options).result.latency_s());
+    }
+    table.row()
+        .cell(diameter)
+        .cell(static_cast<int>(side * side))
+        .cell(tinydb_s.mean(), 3)
+        .cell(iso_s.mean(), 3)
+        .cell(tinydb_s.mean() / std::max(iso_s.mean(), 1e-12), 1);
+  }
+  table.print(std::cout);
+  return 0;
+}

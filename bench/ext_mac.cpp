@@ -1,0 +1,89 @@
+// Extension: MAC-layer contention replay. The paper's simulation assumes
+// a perfect link layer with TDMA slotting; here the recorded convergecast
+// transmissions of Iso-Map and TinyDB are replayed through a p-persistent
+// slotted-CSMA model (collisions destroy frames at the receiver,
+// interference reaches 1.5x the radio range — the Z-MAC style contention
+// inside each level's phase).
+// Expectation: TinyDB's dense near-sink traffic collides heavily, so its
+// effective collection time and wasted airtime blow up; Iso-Map's thin
+// report flow stays close to its ideal schedule.
+
+#include "bench/bench_common.hpp"
+#include "mac/contention.hpp"
+
+using namespace isomap;
+using namespace isomap::bench;
+
+int main() {
+  banner("Extension", "slotted-CSMA contention replay of the convergecast",
+         "TinyDB collides heavily near the sink; Iso-Map near-ideal");
+
+  const int kSeeds = 2;
+  Table table({"diameter", "protocol", "frames", "delivery_pct",
+               "collisions", "mac_time_s", "ideal_time_s",
+               "wasted_KB"});
+  for (const int diameter : {10, 20, 30}) {
+    const double side = side_for_diameter(diameter);
+    RunningStats iso_frames, iso_del, iso_col, iso_time, iso_ideal, iso_waste;
+    RunningStats tdb_frames, tdb_del, tdb_col, tdb_time, tdb_ideal, tdb_waste;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const Scenario random = sloped_scenario(side, seed);
+      const Scenario grid = sloped_scenario(side, seed, /*grid=*/true);
+      const MacOptions mac;
+
+      IsoMapOptions iso_options;
+      iso_options.query = scaling_query();
+      iso_options.record_transmissions = true;
+      const IsoMapRun iso = run_isomap(random, iso_options);
+      Rng iso_rng(seed * 31);
+      const MacStats iso_stats =
+          replay_with_contention(iso.result.transmissions, random.deployment,
+                                 random.graph, mac, iso_rng);
+      iso_frames.add(iso_stats.frames_offered);
+      iso_del.add(iso_stats.delivery_ratio() * 100.0);
+      iso_col.add(iso_stats.collisions);
+      iso_time.add(iso_stats.duration_s(mac));
+      iso_ideal.add(iso.result.latency_s());
+      iso_waste.add(iso_stats.airtime_wasted_bytes / 1024.0);
+
+      TinyDBOptions tdb_options;
+      tdb_options.record_transmissions = true;
+      const TinyDBRun tdb = run_tinydb(grid, tdb_options);
+      Rng tdb_rng(seed * 77);
+      const MacStats tdb_stats =
+          replay_with_contention(tdb.result.transmissions, grid.deployment,
+                                 grid.graph, mac, tdb_rng);
+      tdb_frames.add(tdb_stats.frames_offered);
+      tdb_del.add(tdb_stats.delivery_ratio() * 100.0);
+      tdb_col.add(tdb_stats.collisions);
+      tdb_time.add(tdb_stats.duration_s(mac));
+      tdb_ideal.add(tdb.result.latency_s());
+      tdb_waste.add(tdb_stats.airtime_wasted_bytes / 1024.0);
+    }
+    table.row()
+        .cell(diameter)
+        .cell("Iso-Map")
+        .cell(iso_frames.mean(), 0)
+        .cell(iso_del.mean(), 1)
+        .cell(iso_col.mean(), 0)
+        .cell(iso_time.mean(), 2)
+        .cell(iso_ideal.mean(), 2)
+        .cell(iso_waste.mean(), 1);
+    table.row()
+        .cell(diameter)
+        .cell("TinyDB")
+        .cell(tdb_frames.mean(), 0)
+        .cell(tdb_del.mean(), 1)
+        .cell(tdb_col.mean(), 0)
+        .cell(tdb_time.mean(), 2)
+        .cell(tdb_ideal.mean(), 2)
+        .cell(tdb_waste.mean(), 1);
+  }
+  table.print(std::cout);
+  std::cout << "\n(The replay keeps the protocols' burst schedules; a "
+               "production TinyDB would pace its epoch to survive, paying "
+               "even more latency. The point is the contention *pressure* "
+               "each protocol puts on the MAC, which Iso-Map's thin report "
+               "flow barely exerts.)\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig. 11: contour mapping accuracy against (a) node density and (b) node
+// failures, for TinyDB and Iso-Map, including the effect of the border
+// range epsilon.
+// Paper expectation: (a) accuracy of both protocols climbs above ~80% as
+// density reaches 1 and beyond, Iso-Map slightly below TinyDB throughout;
+// a large epsilon helps at low density but hurts at high density.
+// (b) both degrade with failures and become unusable beyond ~40%; a large
+// epsilon adds failure tolerance at the cost of peak fidelity.
+
+#include "bench/bench_common.hpp"
+
+using namespace isomap;
+using namespace isomap::bench;
+
+namespace {
+
+double isomap_accuracy_run(const Scenario& s, double epsilon_fraction) {
+  IsoMapOptions options;
+  options.query = default_query(s.field, 4);
+  options.query.epsilon_fraction = epsilon_fraction;
+  const IsoMapRun run = run_isomap(s, options);
+  return mapping_accuracy(run.result.map, s.field,
+                          options.query.isolevels(), 80);
+}
+
+}  // namespace
+
+int main() {
+  const int kSeeds = 3;
+
+  banner("Fig. 11a", "mapping accuracy vs node density",
+         ">80% for density >= 1; Iso-Map slightly below TinyDB; large "
+         "epsilon helps only at low density");
+  Table a({"density", "nodes", "tinydb_pct", "isomap_pct",
+           "isomap_eps20_pct"});
+  for (const double density : {0.16, 0.36, 0.64, 1.0, 2.0, 4.0}) {
+    const int n = static_cast<int>(density * 2500.0 + 0.5);
+    double tinydb_acc = 0, iso_acc = 0, iso_wide_acc = 0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const Scenario grid = harbor_scenario(n, seed, /*grid=*/true);
+      const Scenario random = harbor_scenario(n, seed);
+      const ContourQuery query = default_query(grid.field, 4);
+      tinydb_acc +=
+          tinydb_accuracy(run_tinydb(grid), grid.field, query.isolevels());
+      iso_acc += isomap_accuracy_run(random, 0.05);
+      iso_wide_acc += isomap_accuracy_run(random, 0.20);
+    }
+    a.row()
+        .cell(density, 2)
+        .cell(n)
+        .cell(tinydb_acc / kSeeds * 100.0, 1)
+        .cell(iso_acc / kSeeds * 100.0, 1)
+        .cell(iso_wide_acc / kSeeds * 100.0, 1);
+  }
+  a.print(std::cout);
+
+  banner("Fig. 11b", "mapping accuracy vs node-failure ratio",
+         "both degrade; unusable beyond ~40% failures; large epsilon is "
+         "more failure-tolerant");
+  Table b({"failure_pct", "tinydb_pct", "isomap_pct", "isomap_eps20_pct"});
+  for (const double failures : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    double tinydb_acc = 0, iso_acc = 0, iso_wide_acc = 0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const Scenario grid =
+          harbor_scenario(2500, seed, /*grid=*/true, failures);
+      const Scenario random =
+          harbor_scenario(2500, seed, /*grid=*/false, failures);
+      const ContourQuery query = default_query(grid.field, 4);
+      tinydb_acc +=
+          tinydb_accuracy(run_tinydb(grid), grid.field, query.isolevels());
+      iso_acc += isomap_accuracy_run(random, 0.05);
+      iso_wide_acc += isomap_accuracy_run(random, 0.20);
+    }
+    b.row()
+        .cell(failures * 100.0, 0)
+        .cell(tinydb_acc / kSeeds * 100.0, 1)
+        .cell(iso_acc / kSeeds * 100.0, 1)
+        .cell(iso_wide_acc / kSeeds * 100.0, 1);
+  }
+  b.print(std::cout);
+  return 0;
+}

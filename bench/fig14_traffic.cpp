@@ -1,0 +1,76 @@
+// Fig. 14: network traffic overhead against (a) the network diameter
+// (10-50 hops at density 1) and (b) the node density, for TinyDB, INLR
+// and Iso-Map.
+// Paper expectation: TinyDB and INLR traffic grows rapidly with both
+// diameter and density (O(n) reports, each travelling many hops); Iso-Map
+// stays far below with a much smaller growth factor.
+
+#include "bench/bench_common.hpp"
+
+using namespace isomap;
+using namespace isomap::bench;
+
+int main() {
+  const int kSeeds = 2;
+
+  banner("Fig. 14a", "traffic (KB) vs network diameter at density 1",
+         "TinyDB/INLR grow fast; Iso-Map nearly flat in comparison");
+  Table a({"diameter_hops", "measured_depth", "nodes", "tinydb_KB",
+           "inlr_KB", "isomap_KB"});
+  for (const int diameter : {10, 20, 30, 40, 50}) {
+    const double side = side_for_diameter(diameter);
+    RunningStats tinydb_kb, inlr_kb, iso_kb, depth;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const Scenario grid = sloped_scenario(side, seed, /*grid=*/true);
+      const Scenario random = sloped_scenario(side, seed);
+      depth.add(random.tree.depth());
+      tinydb_kb.add(run_tinydb(grid).result.traffic_bytes / 1024.0);
+      inlr_kb.add(run_inlr(grid).result.traffic_bytes / 1024.0);
+      IsoMapOptions options;
+      options.query = scaling_query();
+      iso_kb.add(run_isomap(random, options).result.report_traffic_bytes /
+                 1024.0);
+    }
+    a.row()
+        .cell(diameter)
+        .cell(depth.mean(), 1)
+        .cell(static_cast<int>(side * side))
+        .cell(tinydb_kb.mean(), 1)
+        .cell(inlr_kb.mean(), 1)
+        .cell(iso_kb.mean(), 1);
+  }
+  a.print(std::cout);
+
+  banner("Fig. 14b", "traffic (KB) vs node density (50x50 field)",
+         "all grow with density, Iso-Map with a much smaller factor");
+  Table b({"density", "nodes", "tinydb_KB", "inlr_KB", "isomap_KB"});
+  for (const double density : {0.5, 1.0, 2.0, 3.0, 4.0}) {
+    const int n = static_cast<int>(density * 2500.0 + 0.5);
+    RunningStats tinydb_kb, inlr_kb, iso_kb;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      ScenarioConfig config;
+      config.num_nodes = n;
+      config.field_side = 50.0;
+      config.field = FieldKind::kSloped;
+      config.seed = seed;
+      ScenarioConfig grid_config = config;
+      grid_config.grid_deployment = true;
+      const Scenario grid = make_scenario(grid_config);
+      const Scenario random = make_scenario(config);
+      tinydb_kb.add(run_tinydb(grid).result.traffic_bytes / 1024.0);
+      inlr_kb.add(run_inlr(grid).result.traffic_bytes / 1024.0);
+      IsoMapOptions options;
+      options.query = scaling_query();
+      iso_kb.add(run_isomap(random, options).result.report_traffic_bytes /
+                 1024.0);
+    }
+    b.row()
+        .cell(density, 2)
+        .cell(n)
+        .cell(tinydb_kb.mean(), 1)
+        .cell(inlr_kb.mean(), 1)
+        .cell(iso_kb.mean(), 1);
+  }
+  b.print(std::cout);
+  return 0;
+}

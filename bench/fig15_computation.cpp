@@ -1,0 +1,54 @@
+// Fig. 15: per-node computational intensity against the network diameter
+// for TinyDB, INLR and Iso-Map, plus the paper's amplified Iso-Map view.
+// Paper expectation: INLR's per-node computation is orders of magnitude
+// higher and grows with network size; TinyDB and Iso-Map stay low, and
+// the amplified view shows Iso-Map's per-node cost does not grow with the
+// network (constant per-node overhead).
+
+#include <array>
+
+#include "bench/bench_common.hpp"
+
+using namespace isomap;
+using namespace isomap::bench;
+
+int main() {
+  const int kSeeds = 2;
+
+  banner("Fig. 15a", "mean per-node computation (ops) vs network diameter",
+         "INLR huge and growing; TinyDB and Iso-Map low");
+  Table a({"diameter_hops", "nodes", "tinydb_ops", "inlr_ops",
+           "isomap_ops"});
+  std::vector<std::array<double, 3>> iso_series;
+  std::vector<int> diameters{10, 20, 30, 40, 50};
+  for (const int diameter : diameters) {
+    const double side = side_for_diameter(diameter);
+    RunningStats tinydb_ops, inlr_ops, iso_ops;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const Scenario grid = sloped_scenario(side, seed, /*grid=*/true);
+      const Scenario random = sloped_scenario(side, seed);
+      tinydb_ops.add(run_tinydb(grid).ledger.mean_ops());
+      inlr_ops.add(run_inlr(grid).ledger.mean_ops());
+      IsoMapOptions options;
+      options.query = scaling_query();
+      iso_ops.add(run_isomap(random, options).ledger.mean_ops());
+    }
+    a.row()
+        .cell(diameter)
+        .cell(static_cast<int>(side * side))
+        .cell(tinydb_ops.mean(), 1)
+        .cell(inlr_ops.mean(), 1)
+        .cell(iso_ops.mean(), 2);
+    iso_series.push_back({static_cast<double>(diameter), iso_ops.mean(),
+                          iso_ops.max()});
+  }
+  a.print(std::cout);
+
+  banner("Fig. 15b", "amplified view: Iso-Map per-node computation",
+         "flat — per-node cost does not grow with network size");
+  Table b({"diameter_hops", "isomap_mean_ops", "isomap_max_seed_ops"});
+  for (const auto& row : iso_series)
+    b.row().cell(static_cast<int>(row[0])).cell(row[1], 2).cell(row[2], 2);
+  b.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 16: per-node energy consumption for one contour-mapping round
+// under TinyDB, INLR and Iso-Map, against network size, using the MICA2
+// energy model (CC1000 radio at 38.4 kbps: 42 mW tx / 29 mW rx; ATmega128
+// at 33 mW, 242 MIPS/W).
+// Paper expectation: Iso-Map's per-node energy is far below both
+// baselines, and stays near-flat as the network grows while TinyDB and
+// INLR climb.
+
+#include "bench/bench_common.hpp"
+
+using namespace isomap;
+using namespace isomap::bench;
+
+int main() {
+  banner("Fig. 16", "mean per-node energy (mJ) vs network size",
+         "Iso-Map lowest and near-flat; TinyDB/INLR grow with size");
+
+  const Mica2Model energy;
+  const int kSeeds = 2;
+  Table table({"diameter_hops", "nodes", "tinydb_mJ", "inlr_mJ",
+               "isomap_mJ"});
+  for (const int diameter : {10, 20, 30, 40, 50}) {
+    const double side = side_for_diameter(diameter);
+    RunningStats tinydb_mj, inlr_mj, iso_mj;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const Scenario grid = sloped_scenario(side, seed, /*grid=*/true);
+      const Scenario random = sloped_scenario(side, seed);
+      tinydb_mj.add(energy.mean_node_energy_j(run_tinydb(grid).ledger) *
+                    1e3);
+      inlr_mj.add(energy.mean_node_energy_j(run_inlr(grid).ledger) * 1e3);
+      IsoMapOptions options;
+      options.query = scaling_query();
+      iso_mj.add(
+          energy.mean_node_energy_j(run_isomap(random, options).ledger) *
+          1e3);
+    }
+    table.row()
+        .cell(diameter)
+        .cell(static_cast<int>(side * side))
+        .cell(tinydb_mj.mean(), 4)
+        .cell(inlr_mj.mean(), 4)
+        .cell(iso_mj.mean(), 4);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Grand comparison: all six protocols on one scenario and one meter —
+// the summary table that a reader of Table 1 + Figs. 10-16 would want.
+// Setup: the paper's default (n = 2500, density 1, harbor section,
+// 4 isolevels), averaged over seeds. "Fidelity" columns use each
+// protocol's own sink reconstruction.
+// Expectation: Iso-Map matches TinyDB's fidelity within a few points at
+// ~1/20 the traffic and ~1/10 the energy; every aggregation baseline
+// trades fidelity or computation for its traffic savings.
+
+#include "baselines/isoline_agg.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace isomap;
+using namespace isomap::bench;
+
+int main() {
+  banner("Grand comparison", "all protocols, one scenario, one meter",
+         "Iso-Map: TinyDB-class fidelity at a fraction of every cost");
+
+  const int kSeeds = 3;
+  const Mica2Model energy;
+
+  struct Row {
+    RunningStats reports, traffic_kb, mean_ops, energy_uj, accuracy;
+    bool has_accuracy = true;
+  };
+  Row isomap_row, tinydb_row, inlr_row, escan_row, suppress_row, agg_row;
+
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const Scenario random = harbor_scenario(2500, seed);
+    const Scenario grid = harbor_scenario(2500, seed, /*grid=*/true);
+    const ContourQuery query = default_query(random.field, 4);
+    const auto levels = query.isolevels();
+    const LevelMap truth =
+        LevelMap::ground_truth(random.field, levels, 70, 70);
+    const LevelMap grid_truth =
+        LevelMap::ground_truth(grid.field, levels, 70, 70);
+
+    auto accuracy_of = [&](const std::function<int(Vec2)>& classify,
+                           const LevelMap& reference,
+                           const ScalarField& field) {
+      const LevelMap est = LevelMap::rasterize(field.bounds(), 70, 70,
+                                               classify);
+      return est.accuracy_against(reference) * 100.0;
+    };
+
+    {
+      IsoMapOptions options;
+      options.query = query;
+      const IsoMapRun run = run_isomap(random, options);
+      isomap_row.reports.add(run.result.delivered_reports);
+      isomap_row.traffic_kb.add(run.result.report_traffic_bytes / 1024.0);
+      isomap_row.mean_ops.add(run.ledger.mean_ops());
+      isomap_row.energy_uj.add(energy.mean_node_energy_j(run.ledger) * 1e6);
+      isomap_row.accuracy.add(accuracy_of(
+          [&](Vec2 p) { return run.result.map.level_index(p); }, truth,
+          random.field));
+    }
+    {
+      const TinyDBRun run = run_tinydb(grid);
+      tinydb_row.reports.add(run.result.reports_delivered);
+      tinydb_row.traffic_kb.add(run.result.traffic_bytes / 1024.0);
+      tinydb_row.mean_ops.add(run.ledger.mean_ops());
+      tinydb_row.energy_uj.add(energy.mean_node_energy_j(run.ledger) * 1e6);
+      tinydb_row.accuracy.add(accuracy_of(
+          [&](Vec2 p) { return run.result.level_index(p, levels); },
+          grid_truth, grid.field));
+    }
+    {
+      const InlrRun run = run_inlr(grid);
+      inlr_row.reports.add(run.result.regions_at_sink);
+      inlr_row.traffic_kb.add(run.result.traffic_bytes / 1024.0);
+      inlr_row.mean_ops.add(run.ledger.mean_ops());
+      inlr_row.energy_uj.add(energy.mean_node_energy_j(run.ledger) * 1e6);
+      inlr_row.accuracy.add(accuracy_of(
+          [&](Vec2 p) { return run.result.level_index(p, levels); },
+          grid_truth, grid.field));
+    }
+    {
+      const EScanRun run = run_escan(grid);
+      escan_row.reports.add(run.result.tuples_at_sink);
+      escan_row.traffic_kb.add(run.result.traffic_bytes / 1024.0);
+      escan_row.mean_ops.add(run.ledger.mean_ops());
+      escan_row.energy_uj.add(energy.mean_node_energy_j(run.ledger) * 1e6);
+      escan_row.accuracy.add(accuracy_of(
+          [&](Vec2 p) { return run.result.level_index(p, levels); },
+          grid_truth, grid.field));
+    }
+    {
+      const SuppressionRun run = run_suppression(grid);
+      suppress_row.reports.add(run.result.reports_generated);
+      suppress_row.traffic_kb.add(run.result.traffic_bytes / 1024.0);
+      suppress_row.mean_ops.add(run.ledger.mean_ops());
+      suppress_row.energy_uj.add(energy.mean_node_energy_j(run.ledger) *
+                                 1e6);
+      suppress_row.has_accuracy = false;  // No sink map in this protocol.
+    }
+    {
+      IsolineAggOptions options;
+      options.query = query;
+      IsolineAggProtocol protocol(options);
+      Ledger ledger(random.deployment.size());
+      const IsolineAggResult result =
+          protocol.run(random.readings, random.deployment, random.graph,
+                       random.tree, ledger);
+      const IsolineAggMap map =
+          protocol.build_map(result, random.field.bounds());
+      agg_row.reports.add(result.delivered_reports);
+      agg_row.traffic_kb.add(result.traffic_bytes / 1024.0);
+      agg_row.mean_ops.add(ledger.mean_ops());
+      agg_row.energy_uj.add(energy.mean_node_energy_j(ledger) * 1e6);
+      agg_row.accuracy.add(accuracy_of(
+          [&](Vec2 p) { return map.level_index(p); }, truth, random.field));
+    }
+  }
+
+  Table table({"protocol", "sink_units", "traffic_KB", "mean_node_ops",
+               "node_energy_uJ", "accuracy_pct"});
+  auto add = [&](const std::string& name, const Row& row) {
+    table.row()
+        .cell(name)
+        .cell(row.reports.mean(), 0)
+        .cell(row.traffic_kb.mean(), 1)
+        .cell(row.mean_ops.mean(), 1)
+        .cell(row.energy_uj.mean(), 1)
+        .cell(row.has_accuracy ? format_double(row.accuracy.mean(), 1)
+                               : std::string("n/a"));
+  };
+  add("Iso-Map", isomap_row);
+  add("TinyDB", tinydb_row);
+  add("INLR", inlr_row);
+  add("eScan", escan_row);
+  add("DataSuppression", suppress_row);
+  add("IsolineAgg (no d)", agg_row);
+  table.print(std::cout);
+  std::cout << "\n(sink_units: reports / regions / tuples the sink "
+              "receives; suppression has no sink reconstruction.)\n";
+  return 0;
+}

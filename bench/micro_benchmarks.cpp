@@ -1,0 +1,122 @@
+// Google-benchmark microbenchmarks for the computational kernels: sink
+// Voronoi construction, contour-map building, marching squares, the local
+// regression and the in-network filter. These quantify the sink/node
+// costs behind the Table 1 / Fig. 15 numbers on real hardware.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "eval/metrics.hpp"
+#include "field/bathymetry.hpp"
+#include "field/grid_field.hpp"
+#include "geometry/marching_squares.hpp"
+#include "geometry/voronoi.hpp"
+#include "isomap/contour_map.hpp"
+#include "isomap/filter.hpp"
+#include "isomap/regression.hpp"
+#include "util/rng.hpp"
+
+namespace isomap {
+namespace {
+
+std::vector<Vec2> random_sites(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> sites;
+  sites.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    sites.push_back({rng.uniform(0, 50), rng.uniform(0, 50)});
+  return sites;
+}
+
+std::vector<IsolineReport> random_reports(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IsolineReport> reports;
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.uniform(0, 2 * M_PI);
+    reports.push_back({10.0,
+                       {rng.uniform(0, 50), rng.uniform(0, 50)},
+                       {std::cos(a), std::sin(a)},
+                       i});
+  }
+  return reports;
+}
+
+void BM_VoronoiConstruction(benchmark::State& state) {
+  const auto sites = random_sites(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    VoronoiDiagram vd(sites, 0, 0, 50, 50);
+    benchmark::DoNotOptimize(vd.cells().size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VoronoiConstruction)->Range(16, 512)->Complexity();
+
+void BM_ContourMapBuild(benchmark::State& state) {
+  const auto reports = random_reports(static_cast<int>(state.range(0)), 2);
+  const ContourMapBuilder builder({0, 0, 50, 50});
+  for (auto _ : state) {
+    const ContourMap map = builder.build(reports, {10.0});
+    benchmark::DoNotOptimize(map.level_count());
+  }
+}
+BENCHMARK(BM_ContourMapBuild)->Range(16, 256);
+
+void BM_ContourMapClassify(benchmark::State& state) {
+  const auto reports = random_reports(100, 3);
+  const ContourMap map =
+      ContourMapBuilder({0, 0, 50, 50}).build(reports, {10.0});
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        map.level_index({rng.uniform(0, 50), rng.uniform(0, 50)}));
+  }
+}
+BENCHMARK(BM_ContourMapClassify);
+
+void BM_MarchingSquares(benchmark::State& state) {
+  const GaussianField field = harbor_bathymetry();
+  const int res = static_cast<int>(state.range(0));
+  const GridField grid = GridField::sample(field, res, res);
+  for (auto _ : state) {
+    const auto lines = marching_squares(grid.as_sample_grid(), 11.0);
+    benchmark::DoNotOptimize(lines.size());
+  }
+}
+BENCHMARK(BM_MarchingSquares)->Range(64, 512);
+
+void BM_PlaneRegression(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<FieldSample> samples;
+  for (int i = 0; i < state.range(0); ++i)
+    samples.push_back(
+        {{rng.uniform(0, 10), rng.uniform(0, 10)}, rng.uniform(0, 5)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit_plane(samples));
+  }
+}
+BENCHMARK(BM_PlaneRegression)->Range(8, 64);
+
+void BM_InNetworkFilter(benchmark::State& state) {
+  const auto reports = random_reports(static_cast<int>(state.range(0)), 6);
+  const InNetworkFilter filter(30.0, 4.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.filter(reports).size());
+  }
+}
+BENCHMARK(BM_InNetworkFilter)->Range(32, 512);
+
+void BM_HausdorffDistance(benchmark::State& state) {
+  const GaussianField field = harbor_bathymetry();
+  const auto a = true_isolines(field, 10.0, 150);
+  const auto b = true_isolines(field, 10.2, 150);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hausdorff_distance(a, b, 0.5));
+  }
+}
+BENCHMARK(BM_HausdorffDistance);
+
+}  // namespace
+}  // namespace isomap
+
+BENCHMARK_MAIN();

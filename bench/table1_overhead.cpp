@@ -1,0 +1,96 @@
+// Table 1: overhead comparison of the five protocols — analytic
+// complexities from the paper plus the counts measured by our simulation
+// at the paper's default configuration (n = 2500, density 1).
+// Paper expectation: Iso-Map is the only protocol with O(sqrt(n)) report
+// generation; its network computation is O(n) while eScan reaches O(n^4)
+// worst-case and INLR Theta(n^1.5).
+
+#include "bench/bench_common.hpp"
+
+using namespace isomap;
+using namespace isomap::bench;
+
+int main() {
+  banner("Table 1", "overhead comparison of different approaches",
+         "Iso-Map: O(sqrt(n)) reports, O(n) network computation, "
+         "no deployment requirement");
+
+  std::cout << "\nAnalytic complexities (from the paper):\n";
+  Table analytic({"protocol", "reports", "network_computation",
+                  "deployment_requirement"});
+  analytic.row().cell("TinyDB").cell("n").cell("O(n)").cell("grid");
+  analytic.row().cell("eScan").cell("n").cell("O(n^4) worst").cell("none");
+  analytic.row().cell("INLR").cell("n").cell(">= Theta(n^1.5)").cell("grid");
+  analytic.row()
+      .cell("DataSuppression")
+      .cell("O(n)")
+      .cell(">= Theta(n*deg2)")
+      .cell("grid");
+  analytic.row()
+      .cell("Iso-Map")
+      .cell("O(sqrt(n))")
+      .cell("O(n)")
+      .cell("none");
+  analytic.print(std::cout);
+
+  std::cout << "\nMeasured at n = 2500 (50x50 field, density 1, averaged "
+               "over 3 seeds):\n";
+  Table measured({"protocol", "reports_generated", "traffic_KB",
+                  "total_ops", "mean_ops_per_node"});
+
+  double tinydb_reports = 0, tinydb_kb = 0, tinydb_ops = 0;
+  double escan_reports = 0, escan_kb = 0, escan_ops = 0;
+  double inlr_reports = 0, inlr_kb = 0, inlr_ops = 0;
+  double sup_reports = 0, sup_kb = 0, sup_ops = 0;
+  double iso_reports = 0, iso_kb = 0, iso_ops = 0;
+  const int kSeeds = 3;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const Scenario grid = harbor_scenario(2500, seed, /*grid=*/true);
+    const Scenario random = harbor_scenario(2500, seed, /*grid=*/false);
+
+    const TinyDBRun tinydb = run_tinydb(grid);
+    tinydb_reports += tinydb.result.reports_generated;
+    tinydb_kb += tinydb.result.traffic_bytes / 1024.0;
+    tinydb_ops += tinydb.ledger.total_ops();
+
+    const EScanRun escan = run_escan(grid);
+    escan_reports += escan.result.reports_generated;
+    escan_kb += escan.result.traffic_bytes / 1024.0;
+    escan_ops += escan.ledger.total_ops();
+
+    const InlrRun inlr = run_inlr(grid);
+    inlr_reports += inlr.result.reports_generated;
+    inlr_kb += inlr.result.traffic_bytes / 1024.0;
+    inlr_ops += inlr.ledger.total_ops();
+
+    const SuppressionRun sup = run_suppression(grid);
+    sup_reports += sup.result.reports_generated;
+    sup_kb += sup.result.traffic_bytes / 1024.0;
+    sup_ops += sup.ledger.total_ops();
+
+    const IsoMapRun iso = run_isomap(random, 4);
+    iso_reports += iso.result.generated_reports;
+    iso_kb += iso.result.report_traffic_bytes / 1024.0;
+    iso_ops += iso.ledger.total_ops();
+  }
+  auto add = [&](const std::string& name, double reports, double kb,
+                 double ops) {
+    measured.row()
+        .cell(name)
+        .cell(reports / kSeeds, 0)
+        .cell(kb / kSeeds, 1)
+        .cell(ops / kSeeds, 0)
+        .cell(ops / kSeeds / 2500.0, 1);
+  };
+  add("TinyDB", tinydb_reports, tinydb_kb, tinydb_ops);
+  add("eScan", escan_reports, escan_kb, escan_ops);
+  add("INLR", inlr_reports, inlr_kb, inlr_ops);
+  add("DataSuppression", sup_reports, sup_kb, sup_ops);
+  add("Iso-Map", iso_reports, iso_kb, iso_ops);
+  measured.print(std::cout);
+
+  std::cout << "\nsqrt(2500) = 50 for reference: Iso-Map generates reports "
+               "on that order while every baseline generates hundreds to "
+               "thousands.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: run Iso-Map end to end on the default harbor scenario and
+// print the reconstructed isobath contour map next to the ground truth.
+//
+// Usage: quickstart [--nodes=2500] [--side=50] [--levels=4] [--seed=1]
+
+#include <iostream>
+
+#include "eval/metrics.hpp"
+#include "eval/render.hpp"
+#include "sim/runners.hpp"
+#include "util/cli.hpp"
+
+using namespace isomap;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+
+  ScenarioConfig config;
+  config.num_nodes = args.get_int("nodes", 2500);
+  config.field_side = args.get_double("side", 50.0);
+  config.seed = args.get_u64("seed", 1);
+  const int levels = args.get_int("levels", 4);
+
+  std::cout << "Deploying " << config.num_nodes << " sensor nodes over a "
+            << config.field_side << " x " << config.field_side
+            << " field (density " << config.density() << ", radio range "
+            << config.effective_radio_range() << ")...\n";
+
+  const Scenario scenario = make_scenario(config);
+  std::cout << "Average node degree: " << scenario.graph.average_degree()
+            << ", routing-tree depth: " << scenario.tree.depth() << " hops\n";
+
+  const IsoMapRun run = run_isomap(scenario, levels);
+  const ContourQuery query = default_query(scenario.field, levels);
+
+  std::cout << "Isoline nodes selected: " << run.result.isoline_node_count
+            << "\nReports generated:      " << run.result.generated_reports
+            << "\nReports at sink:        " << run.result.delivered_reports
+            << " (after in-network filtering)"
+            << "\nReport traffic:         "
+            << run.result.report_traffic_bytes / 1024.0 << " KB\n";
+
+  const double accuracy = mapping_accuracy(run.result.map, scenario.field,
+                                           query.isolevels(), 100);
+  std::cout << "Mapping accuracy:       " << accuracy * 100.0 << " %\n";
+
+  const Mica2Model energy;
+  std::cout << "Mean per-node energy:   "
+            << energy.mean_node_energy_j(run.ledger) * 1000.0 << " mJ\n\n";
+
+  const int res = 48;
+  const LevelMap truth =
+      LevelMap::ground_truth(scenario.field, query.isolevels(), res, res);
+  const LevelMap estimate =
+      LevelMap::rasterize(scenario.field.bounds(), res, res,
+                          [&](Vec2 p) { return run.result.map.level_index(p); });
+  std::cout << ascii_render_pair(truth, estimate, "ground truth",
+                                 "Iso-Map reconstruction");
+  return 0;
+}

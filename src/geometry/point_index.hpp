@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace isomap {
+
+/// Uniform-grid nearest-neighbour index over a fixed point set. Sink-side
+/// map classification performs one nearest-site query per raster pixel
+/// (LevelRegion::contains), which is O(sites) naively; the index answers
+/// it in ~O(1) for the roughly uniform isoposition sets the sink sees.
+///
+/// The structure is immutable after construction. Queries anywhere in the
+/// plane are valid (points outside the indexed bounding box fall back to
+/// ring expansion from the nearest cell).
+class PointIndex {
+ public:
+  /// Builds an index over `points` (may be empty; nearest() then returns
+  /// -1). Duplicate points are allowed.
+  explicit PointIndex(std::vector<Vec2> points);
+
+  std::size_t size() const { return points_.size(); }
+  const std::vector<Vec2>& points() const { return points_; }
+
+  /// Index of the nearest point to q (lowest index wins ties); -1 when
+  /// the set is empty.
+  int nearest(Vec2 q) const;
+
+  /// Indices of the nearest `k` points, closest first (fewer if the set
+  /// is smaller).
+  std::vector<int> k_nearest(Vec2 q, int k) const;
+
+  /// All indices within `radius` of q (unsorted).
+  std::vector<int> within(Vec2 q, double radius) const;
+
+ private:
+  struct CellRange {
+    int begin = 0;
+    int end = 0;
+  };
+
+  int cell_col(double x) const;
+  int cell_row(double y) const;
+  const std::vector<int>& cell(int col, int row) const;
+
+  std::vector<Vec2> points_;
+  double min_x_ = 0.0, min_y_ = 0.0;
+  double cell_size_ = 1.0;
+  int cols_ = 1, rows_ = 1;
+  std::vector<std::vector<int>> cells_;
+};
+
+}  // namespace isomap

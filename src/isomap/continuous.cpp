@@ -1,0 +1,181 @@
+#include "isomap/continuous.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "isomap/filter.hpp"
+#include "isomap/node_selection.hpp"
+#include "isomap/regression.hpp"
+
+namespace isomap {
+
+ContinuousMapper::ContinuousMapper(ContinuousOptions options,
+                                   const Deployment& deployment,
+                                   const CommGraph& graph,
+                                   const RoutingTree& tree)
+    : options_(std::move(options)),
+      deployment_(&deployment),
+      graph_(&graph),
+      tree_(&tree),
+      isolevels_(options_.base.query.isolevels()) {}
+
+void ContinuousMapper::set_topology(const Deployment& deployment,
+                                    const CommGraph& graph,
+                                    const RoutingTree& tree) {
+  deployment_ = &deployment;
+  graph_ = &graph;
+  tree_ = &tree;
+}
+
+double ContinuousMapper::route_bytes(int from, double bytes,
+                                     Ledger& ledger) const {
+  const auto path = tree_->path_to_sink(from);
+  double total = 0.0;
+  for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+    ledger.transmit(path[h], path[h + 1], bytes);
+    total += bytes;
+  }
+  return total;
+}
+
+RoundResult ContinuousMapper::round(const ScalarField& field_now,
+                                    Ledger& ledger) {
+  const int n = deployment_->size();
+  const ContourQuery& query = options_.base.query;
+  ++round_counter_;
+
+  // --- Sense and beacon. ---
+  std::vector<double> readings(static_cast<std::size_t>(n), 0.0);
+  double beacon_bytes = 0.0;
+  for (const auto& node : deployment_->nodes()) {
+    if (!node.alive) continue;
+    readings[static_cast<std::size_t>(node.id)] = field_now.value(node.pos);
+    const auto& neighbours = graph_->neighbours(node.id);
+    ledger.broadcast(node.id, neighbours, options_.beacon_bytes);
+    beacon_bytes += options_.beacon_bytes;
+  }
+
+  // --- Selection (Def. 3.1) on the fresh readings. ---
+  std::vector<double> selection_ops;
+  const auto selected =
+      select_isoline_nodes(*graph_, readings, query, &selection_ops);
+  for (int v = 0; v < n; ++v)
+    if (graph_->alive(v))
+      ledger.compute(v, selection_ops[static_cast<std::size_t>(v)]);
+
+  auto level_index_of = [&](double lambda) {
+    for (std::size_t k = 0; k < isolevels_.size(); ++k)
+      if (std::abs(isolevels_[k] - lambda) < 1e-9) return static_cast<int>(k);
+    return -1;
+  };
+
+  RoundResult result{.map = ContourMap(deployment_->bounds(), {})};
+
+  const double refresh_rad = options_.gradient_refresh_deg * M_PI / 180.0;
+  std::map<Key, Vec2> now_selected;
+
+  // --- Regression + delta generation for currently selected pairs. ---
+  // One regression per distinct node per round (shared across levels).
+  std::map<int, Vec2> gradient_cache;
+  for (const auto& entry : selected) {
+    if (!tree_->reachable(entry.node)) continue;
+    const int level = level_index_of(entry.isolevel);
+    if (level < 0) continue;
+
+    auto grad_it = gradient_cache.find(entry.node);
+    if (grad_it == gradient_cache.end()) {
+      std::vector<FieldSample> samples;
+      samples.push_back({deployment_->node(entry.node).reported_pos(),
+                         readings[static_cast<std::size_t>(entry.node)]});
+      for (int nb : graph_->neighbours(entry.node))
+        samples.push_back({deployment_->node(nb).reported_pos(),
+                           readings[static_cast<std::size_t>(nb)]});
+      double ops = 0.0;
+      const auto fit = fit_plane(samples, &ops);
+      ledger.compute(entry.node, ops);
+      if (!fit) continue;
+      grad_it =
+          gradient_cache.emplace(entry.node, fit->descent_direction()).first;
+    }
+    const Vec2 gradient = grad_it->second;
+    const Key key{entry.node, level};
+    now_selected[key] = gradient;
+
+    const auto prev = node_memory_.find(key);
+    const bool is_new = prev == node_memory_.end();
+    const bool rotated =
+        !is_new && angle_between(prev->second, gradient) > refresh_rad;
+    // Soft-state keep-alive: refresh unchanged entries before the sink's
+    // expiry horizon would drop them.
+    bool keepalive = false;
+    if (!is_new && !rotated && options_.stale_rounds > 0) {
+      const auto sink_it = sink_table_.find(key);
+      keepalive = sink_it == sink_table_.end() ||
+                  round_counter_ - sink_it->second.last_update >=
+                      std::max(1, options_.stale_rounds / 2);
+    }
+    if (is_new || rotated || keepalive) {
+      result.delta_traffic_bytes +=
+          route_bytes(entry.node, IsolineReport::kWireBytes, ledger);
+      sink_table_[key] = {{entry.isolevel,
+                           deployment_->node(entry.node).reported_pos(),
+                           gradient, entry.node},
+                          round_counter_};
+      if (is_new) ++result.adds;
+      else if (rotated) ++result.refreshes;
+      else ++result.keepalives;
+    } else {
+      ++result.suppressed;
+    }
+  }
+
+  // --- Withdrawals for pairs that dropped out of the selection. Only an
+  // alive, connected node can actually send one; a dead node's sink entry
+  // lingers until soft-state expiry removes it. ---
+  for (auto it = node_memory_.begin(); it != node_memory_.end();) {
+    if (now_selected.count(it->first)) {
+      ++it;
+      continue;
+    }
+    const int node = it->first.first;
+    if (tree_->reachable(node) && graph_->alive(node)) {
+      result.delta_traffic_bytes +=
+          route_bytes(node, options_.withdraw_bytes, ledger);
+      sink_table_.erase(it->first);
+      ++result.withdrawals;
+    }
+    it = node_memory_.erase(it);
+  }
+  node_memory_ = std::move(now_selected);
+
+  // Soft-state expiry: drop sink entries that out-lived the horizon (the
+  // reporter died or was partitioned and could not withdraw).
+  if (options_.stale_rounds > 0) {
+    for (auto it = sink_table_.begin(); it != sink_table_.end();) {
+      if (round_counter_ - it->second.last_update >= options_.stale_rounds) {
+        node_memory_.erase(it->first);
+        it = sink_table_.erase(it);
+        ++result.expired;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // --- Sink rebuild: spatial filter, then map construction. ---
+  std::vector<IsolineReport> reports;
+  reports.reserve(sink_table_.size());
+  for (const auto& [key, entry] : sink_table_) reports.push_back(entry.report);
+  if (query.enable_filtering) {
+    const InNetworkFilter filter = InNetworkFilter::from_query(query);
+    reports = filter.filter(std::move(reports));
+  }
+  result.active_reports = static_cast<int>(sink_table_.size());
+  result.beacon_traffic_bytes = beacon_bytes;
+  result.map = ContourMapBuilder(deployment_->bounds(),
+                                 options_.base.regulation)
+                   .build(reports, isolevels_);
+  return result;
+}
+
+}  // namespace isomap

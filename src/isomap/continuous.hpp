@@ -1,0 +1,108 @@
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "isomap/contour_map.hpp"
+#include "isomap/protocol.hpp"
+
+namespace isomap {
+
+/// Options for the continuous-mapping extension.
+struct ContinuousOptions {
+  IsoMapOptions base;
+
+  /// A still-selected isoline node re-reports only when its estimated
+  /// gradient direction rotated by more than this many degrees since its
+  /// last report (temporal suppression).
+  double gradient_refresh_deg = 15.0;
+
+  /// Bytes of a withdrawal message (level + node position reference).
+  double withdraw_bytes = 4.0;
+
+  /// Bytes of the per-round 1-hop value beacon every alive node emits so
+  /// its neighbours can evaluate Definition 3.1 each round.
+  double beacon_bytes = 2.0;
+
+  /// Soft-state expiry: a sink-table entry not refreshed for this many
+  /// rounds is dropped (covers nodes that died without withdrawing).
+  /// Surviving suppressed nodes send a keep-alive refresh when their
+  /// entry is older than half this horizon. 0 disables expiry (the sink
+  /// then trusts withdrawals alone).
+  int stale_rounds = 0;
+};
+
+/// Per-round outcome of the continuous mapper.
+struct RoundResult {
+  int adds = 0;        ///< Newly selected (node, level) pairs reported.
+  int refreshes = 0;   ///< Re-reports due to gradient rotation.
+  int withdrawals = 0; ///< Deselected pairs withdrawn.
+  int suppressed = 0;  ///< Still-selected pairs that stayed silent.
+  int keepalives = 0;  ///< Soft-state refreshes of unchanged entries.
+  int expired = 0;     ///< Sink entries dropped by soft-state expiry.
+  int active_reports = 0;            ///< Sink table size after the round.
+  double delta_traffic_bytes = 0.0;  ///< Multi-hop add/refresh/withdraw bytes.
+  double beacon_traffic_bytes = 0.0; ///< 1-hop beacon bytes.
+  ContourMap map;                    ///< Sink map after the round.
+};
+
+/// Continuous contour mapping over an evolving field — the natural
+/// extension of the paper's one-shot protocol toward its Huanghua
+/// deployment goal (continuous siltation monitoring) and the isoline
+/// continuous-mapping line of related work it cites.
+///
+/// Instead of re-running the full protocol every round, nodes keep their
+/// last report and transmit *deltas*: a report when they become isoline
+/// nodes or when their gradient estimate rotates beyond a threshold, and
+/// a small withdrawal when they stop being isoline nodes. The sink keeps
+/// a report table, applies the spatial in-network filter at map-build
+/// time, and rebuilds the contour map after each round.
+///
+/// Traffic accounting: delta messages are routed hop by hop over the
+/// tree; every alive node additionally beacons its reading once per
+/// round to its 1-hop neighbours (needed to evaluate Def. 3.1).
+class ContinuousMapper {
+ public:
+  ContinuousMapper(ContinuousOptions options, const Deployment& deployment,
+                   const CommGraph& graph, const RoutingTree& tree);
+
+  /// Run one mapping round against the current field state. Sensing,
+  /// selection, regression, delta generation and sink update happen in
+  /// order; all node costs are charged to `ledger`.
+  RoundResult round(const ScalarField& field_now, Ledger& ledger);
+
+  /// Current number of (node, level) entries at the sink.
+  int sink_table_size() const { return static_cast<int>(sink_table_.size()); }
+
+  /// Swap in a rebuilt topology (after node failures). Node memory and
+  /// the sink table are preserved; dead nodes' stale entries age out via
+  /// soft-state expiry (set ContinuousOptions::stale_rounds) since a dead
+  /// node cannot withdraw.
+  void set_topology(const Deployment& deployment, const CommGraph& graph,
+                    const RoutingTree& tree);
+
+ private:
+  using Key = std::pair<int, int>;  ///< (node id, isolevel index).
+
+  struct SinkEntry {
+    IsolineReport report;
+    int last_update = 0;
+  };
+
+  ContinuousOptions options_;
+  const Deployment* deployment_;
+  const CommGraph* graph_;
+  const RoutingTree* tree_;
+  std::vector<double> isolevels_;
+  int round_counter_ = 0;
+
+  /// Node-side memory: last reported gradient per (node, level).
+  std::map<Key, Vec2> node_memory_;
+  /// Sink-side report table with soft-state timestamps.
+  std::map<Key, SinkEntry> sink_table_;
+
+  double route_bytes(int from, double bytes, Ledger& ledger) const;
+};
+
+}  // namespace isomap

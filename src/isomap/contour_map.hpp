@@ -1,0 +1,115 @@
+#pragma once
+
+#include <vector>
+
+#include "field/scalar_field.hpp"
+#include "geometry/polygon.hpp"
+#include "geometry/polyline.hpp"
+#include "geometry/voronoi.hpp"
+#include "isomap/report.hpp"
+
+namespace isomap {
+
+/// How the sink regulates the raw Voronoi/type-1 approximation (Fig. 8e):
+///  - kNone:    raw per-cell construction (type-1 cuts + type-2 cell-border
+///              complements), no smoothing — Fig. 8d.
+///  - kRules:   the paper's Rules 1 & 2 — type-1 boundaries are prolonged
+///              to meet the adjacent cell's type-1 boundary, shaving
+///              pinnacles and filling concavities (the default).
+///  - kBlended: ablation alternative — inverse-distance-weighted blend of
+///              the two nearest reports' half-plane tests (smooth
+///              continuous boundary; not in the paper).
+enum class RegulationMode { kNone, kRules, kBlended };
+
+/// The contour region of a single isolevel as reconstructed at the sink:
+/// the Voronoi diagram of the reported isopositions plus, per cell, the
+/// convex pieces making up the region (the inner part plus any Rule-2
+/// concave fills).
+class LevelRegion {
+ public:
+  LevelRegion(double isolevel, std::vector<IsolineReport> reports,
+              FieldBounds bounds, RegulationMode mode);
+
+  double isolevel() const { return isolevel_; }
+  const std::vector<IsolineReport>& reports() const { return reports_; }
+  const VoronoiDiagram& voronoi() const { return voronoi_; }
+  bool has_reports() const { return !reports_.empty(); }
+
+  /// All convex pieces of the region within the cell of site i.
+  const std::vector<Polygon>& cell_pieces(int i) const {
+    return pieces_[static_cast<std::size_t>(i)];
+  }
+
+  /// True if q lies in the reconstructed contour region.
+  bool contains(Vec2 q) const;
+
+  /// Boundary chains of the region, excluding portions on the field
+  /// border; these are the estimated isolines compared against the ground
+  /// truth in the paper's Fig. 12 Hausdorff metric.
+  const std::vector<Polyline>& boundaries() const { return boundaries_; }
+
+ private:
+  bool contains_rules(Vec2 q) const;
+  bool contains_blended(Vec2 q) const;
+  void build_pieces(RegulationMode mode);
+  void build_boundaries();
+
+  double isolevel_;
+  std::vector<IsolineReport> reports_;
+  FieldBounds bounds_;
+  RegulationMode mode_;
+  VoronoiDiagram voronoi_;
+  std::vector<Vec2> unit_dirs_;  ///< Normalized descent directions.
+  std::vector<std::vector<Polygon>> pieces_;
+  std::vector<Polyline> boundaries_;
+};
+
+/// A full multi-level contour map (Section 3.4): level regions stacked
+/// recursively from the lowest isolevel up, each clipped to its
+/// predecessors.
+class ContourMap {
+ public:
+  ContourMap(FieldBounds bounds, std::vector<LevelRegion> regions);
+
+  const FieldBounds& bounds() const { return bounds_; }
+  int level_count() const { return static_cast<int>(regions_.size()); }
+  const LevelRegion& region(int k) const {
+    return regions_[static_cast<std::size_t>(k)];
+  }
+
+  /// Number of nested regions containing q: 0 means q is below the first
+  /// isolevel, level_count() means q is inside the highest region. The
+  /// recursive restriction rule of Section 3.4 is applied: a point only
+  /// counts as inside level k if it is inside all lower levels too.
+  /// Levels with no reports are transparent (no isoline of that level
+  /// crossed the field): they count exactly when a higher, supported
+  /// level contains q.
+  int level_index(Vec2 q) const;
+
+  /// Estimated isolines of level k (empty when the level had no reports).
+  const std::vector<Polyline>& isolines(int k) const {
+    return regions_[static_cast<std::size_t>(k)].boundaries();
+  }
+
+ private:
+  FieldBounds bounds_;
+  std::vector<LevelRegion> regions_;
+};
+
+/// Builds ContourMaps from sink-side report sets.
+class ContourMapBuilder {
+ public:
+  explicit ContourMapBuilder(FieldBounds bounds,
+                             RegulationMode mode = RegulationMode::kRules);
+
+  /// Group `reports` by isolevel (one LevelRegion per entry of
+  /// `isolevels`, ascending) and construct the stacked map.
+  ContourMap build(const std::vector<IsolineReport>& reports,
+                   const std::vector<double>& isolevels) const;
+
+ private:
+  FieldBounds bounds_;
+  RegulationMode mode_;
+};
+
+}  // namespace isomap

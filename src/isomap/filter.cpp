@@ -1,0 +1,45 @@
+#include "isomap/filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace isomap {
+
+InNetworkFilter::InNetworkFilter(double angular_deg, double distance)
+    : angular_rad_(angular_deg * M_PI / 180.0), distance_(distance) {
+  if (angular_deg < 0.0 || distance < 0.0)
+    throw std::invalid_argument("InNetworkFilter: negative threshold");
+}
+
+bool InNetworkFilter::redundant(const IsolineReport& a,
+                                const IsolineReport& b) const {
+  if (a.isolevel != b.isolevel) return false;
+  if (a.position.distance_to(b.position) >= distance_) return false;
+  return angle_between(a.gradient, b.gradient) < angular_rad_;
+}
+
+void InNetworkFilter::merge(std::vector<IsolineReport>& kept,
+                            const std::vector<IsolineReport>& incoming,
+                            double* ops) const {
+  for (const auto& report : incoming) {
+    bool drop = false;
+    for (const auto& existing : kept) {
+      if (ops) *ops += kOpsPerComparison;
+      if (redundant(existing, report)) {
+        drop = true;
+        break;
+      }
+    }
+    if (!drop) kept.push_back(report);
+  }
+}
+
+std::vector<IsolineReport> InNetworkFilter::filter(
+    std::vector<IsolineReport> reports, double* ops) const {
+  std::vector<IsolineReport> kept;
+  kept.reserve(reports.size());
+  merge(kept, reports, ops);
+  return kept;
+}
+
+}  // namespace isomap

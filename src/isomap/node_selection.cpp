@@ -1,0 +1,104 @@
+#include "isomap/node_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isomap {
+
+bool is_candidate(double reading, double isolevel, double epsilon) {
+  return std::abs(reading - isolevel) <= epsilon;
+}
+
+bool is_isoline_node(double reading,
+                     const std::vector<double>& neighbour_readings,
+                     double isolevel, double epsilon) {
+  if (!is_candidate(reading, isolevel, epsilon)) return false;
+  for (double nv : neighbour_readings) {
+    const bool crossing = (reading < isolevel && isolevel < nv) ||
+                          (nv < isolevel && isolevel < reading);
+    if (crossing) return true;
+  }
+  return false;
+}
+
+std::vector<SelectionEntry> select_isoline_nodes_adaptive(
+    const CommGraph& graph, const Deployment& deployment,
+    const std::vector<double>& readings, const ContourQuery& query,
+    double strip_width, std::vector<double>* ops_per_node) {
+  const auto levels = query.isolevels();
+  std::vector<SelectionEntry> selected;
+  if (ops_per_node)
+    ops_per_node->assign(static_cast<std::size_t>(graph.size()), 0.0);
+
+  for (int node = 0; node < graph.size(); ++node) {
+    if (!graph.alive(node)) continue;
+    const double v = readings[static_cast<std::size_t>(node)];
+    const Vec2 pos = deployment.node(node).pos;
+
+    // Local slope estimate from the steepest 1-hop difference.
+    double slope = 0.0;
+    double ops = 0.0;
+    for (int nb : graph.neighbours(node)) {
+      ops += 4.0;
+      const double dist = pos.distance_to(deployment.node(nb).pos);
+      if (dist <= 1e-9) continue;
+      slope = std::max(
+          slope,
+          std::abs(readings[static_cast<std::size_t>(nb)] - v) / dist);
+    }
+    const double eps = slope > 0.0 ? 0.5 * strip_width * slope
+                                   : query.epsilon();
+
+    ops += static_cast<double>(levels.size());
+    for (double lambda : levels) {
+      if (!is_candidate(v, lambda, eps)) continue;
+      bool crossing = false;
+      for (int nb : graph.neighbours(node)) {
+        ops += 2.0;
+        const double nv = readings[static_cast<std::size_t>(nb)];
+        if ((v < lambda && lambda < nv) || (nv < lambda && lambda < v)) {
+          crossing = true;
+          break;
+        }
+      }
+      if (crossing) selected.push_back({node, lambda});
+    }
+    if (ops_per_node) (*ops_per_node)[static_cast<std::size_t>(node)] = ops;
+  }
+  return selected;
+}
+
+std::vector<SelectionEntry> select_isoline_nodes(
+    const CommGraph& graph, const std::vector<double>& readings,
+    const ContourQuery& query, std::vector<double>* ops_per_node) {
+  const auto levels = query.isolevels();
+  const double eps = query.epsilon();
+  std::vector<SelectionEntry> selected;
+
+  if (ops_per_node)
+    ops_per_node->assign(static_cast<std::size_t>(graph.size()), 0.0);
+
+  for (int node = 0; node < graph.size(); ++node) {
+    if (!graph.alive(node)) continue;
+    const double v = readings[static_cast<std::size_t>(node)];
+    double ops = static_cast<double>(levels.size());  // Candidate scans.
+    for (double lambda : levels) {
+      if (!is_candidate(v, lambda, eps)) continue;
+      // Check the crossing condition against 1-hop neighbours.
+      bool crossing = false;
+      for (int nb : graph.neighbours(node)) {
+        ops += 2.0;
+        const double nv = readings[static_cast<std::size_t>(nb)];
+        if ((v < lambda && lambda < nv) || (nv < lambda && lambda < v)) {
+          crossing = true;
+          break;
+        }
+      }
+      if (crossing) selected.push_back({node, lambda});
+    }
+    if (ops_per_node) (*ops_per_node)[static_cast<std::size_t>(node)] = ops;
+  }
+  return selected;
+}
+
+}  // namespace isomap

@@ -1,0 +1,164 @@
+#include "isomap/protocol.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "isomap/regression.hpp"
+#include "net/channel.hpp"
+
+namespace isomap {
+
+IsoMapProtocol::IsoMapProtocol(IsoMapOptions options)
+    : options_(std::move(options)) {}
+
+IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
+                                 const Deployment& deployment,
+                                 const CommGraph& graph,
+                                 const RoutingTree& tree,
+                                 Ledger& ledger) const {
+  const int n = deployment.size();
+  if (readings.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("IsoMapProtocol: readings size != node count");
+  const ContourQuery& query = options_.query;
+
+  double dissemination_bytes = 0.0;
+  if (options_.account_query_dissemination) {
+    // The sink floods the query down the tree: one transmission per edge.
+    for (int v = 0; v < n; ++v) {
+      if (!tree.reachable(v) || v == tree.sink()) continue;
+      ledger.transmit(tree.parent(v), v, IsoMapOptions::kQueryBytes);
+      dissemination_bytes += IsoMapOptions::kQueryBytes;
+    }
+  }
+
+  // --- Step 1: distributed isoline-node self-selection (Def. 3.1). ---
+  std::vector<double> selection_ops;
+  const std::vector<SelectionEntry> selected =
+      options_.adaptive_epsilon
+          ? select_isoline_nodes_adaptive(graph, deployment, readings, query,
+                                          graph.radio_range(),
+                                          &selection_ops)
+          : select_isoline_nodes(graph, readings, query, &selection_ops);
+  for (int v = 0; v < n; ++v)
+    if (graph.alive(v)) ledger.compute(v, selection_ops[static_cast<std::size_t>(v)]);
+
+  // --- Step 2: local measurement and report generation (Section 3.3). ---
+  // Each distinct isoline node performs one neighbourhood exchange and one
+  // regression, shared across all isolevels it matched.
+  std::map<int, Vec2> descent_by_node;
+  std::vector<int> distinct_nodes;
+  for (const auto& entry : selected) {
+    if (descent_by_node.count(entry.node)) continue;
+    descent_by_node[entry.node] = Vec2{};
+    distinct_nodes.push_back(entry.node);
+  }
+
+  double measurement_bytes = 0.0;
+  std::vector<bool> has_gradient(static_cast<std::size_t>(n), false);
+  for (int node : distinct_nodes) {
+    const std::vector<std::pair<int, int>> scope =
+        graph.k_hop_neighbours_with_distance(node, query.regression_hops);
+
+    // Traffic: one probe broadcast heard by the 1-hop neighbours (k-hop
+    // scopes rebroadcast it hop by hop), then one <value, position> reply
+    // per scoped neighbour, relayed over its hop distance back to the
+    // isoline node.
+    if (options_.account_local_measurement) {
+      ledger.broadcast(node, graph.neighbours(node),
+                       IsoMapOptions::kProbeBytes);
+      measurement_bytes += IsoMapOptions::kProbeBytes;
+      for (const auto& [nb, dist] : scope) {
+        const double reply = IsoMapOptions::kSampleTupleBytes * dist;
+        ledger.transmit(nb, node, reply);
+        measurement_bytes += reply;
+      }
+    }
+
+    // Regression runs on the positions the nodes *believe* (their
+    // localization output); the sensed values come from the physical
+    // positions.
+    std::vector<FieldSample> samples;
+    samples.reserve(scope.size() + 1);
+    samples.push_back({deployment.node(node).reported_pos(),
+                       readings[static_cast<std::size_t>(node)]});
+    for (const auto& [nb, dist] : scope) {
+      samples.push_back({deployment.node(nb).reported_pos(),
+                         readings[static_cast<std::size_t>(nb)]});
+    }
+
+    double ops = 0.0;
+    const auto fit = fit_plane(samples, &ops);
+    ledger.compute(node, ops);
+    if (fit) {
+      descent_by_node[node] = fit->descent_direction();
+      has_gradient[static_cast<std::size_t>(node)] = true;
+    }
+  }
+
+  // --- Step 3: convergecast with in-network filtering (Section 3.5). ---
+  std::vector<std::vector<IsolineReport>> buffer(static_cast<std::size_t>(n));
+  int generated = 0;
+  for (const auto& entry : selected) {
+    if (!has_gradient[static_cast<std::size_t>(entry.node)]) continue;
+    if (!tree.reachable(entry.node)) continue;
+    buffer[static_cast<std::size_t>(entry.node)].push_back(
+        {entry.isolevel, deployment.node(entry.node).reported_pos(),
+         descent_by_node[entry.node], entry.node});
+    ++generated;
+  }
+
+  const InNetworkFilter filter = InNetworkFilter::from_query(query);
+  Channel channel =
+      options_.link_loss > 0.0
+          ? Channel(options_.link_loss, options_.link_retries,
+                    Rng(options_.link_seed))
+          : Channel();
+  double report_bytes = 0.0;
+  TransmissionLog transmission_log;
+  std::vector<double> level_bottleneck(
+      static_cast<std::size_t>(tree.depth()) + 1, 0.0);
+  for (int u : tree.post_order()) {
+    if (u == tree.sink()) continue;
+    auto& outgoing = buffer[static_cast<std::size_t>(u)];
+    if (outgoing.empty()) continue;
+    const int p = tree.parent(u);
+    const double bytes = static_cast<double>(outgoing.size()) *
+                             IsolineReport::kWireBytes +
+                         options_.header_bytes;
+    auto& slot = level_bottleneck[static_cast<std::size_t>(tree.level(u))];
+    slot = std::max(slot, bytes);
+    const bool delivered = channel.send(u, p, bytes, ledger);
+    report_bytes += bytes;
+    if (options_.record_transmissions)
+      transmission_log.push_back({u, p, bytes, tree.level(u)});
+    if (delivered) {
+      auto& inbox = buffer[static_cast<std::size_t>(p)];
+      if (query.enable_filtering) {
+        double ops = 0.0;
+        filter.merge(inbox, outgoing, &ops);
+        ledger.compute(p, ops);
+      } else {
+        inbox.insert(inbox.end(), outgoing.begin(), outgoing.end());
+      }
+    }
+    outgoing.clear();
+  }
+
+  std::vector<IsolineReport> sink_reports =
+      std::move(buffer[static_cast<std::size_t>(tree.sink())]);
+  ContourMap map = ContourMapBuilder(deployment.bounds(), options_.regulation)
+                       .build(sink_reports, query.isolevels());
+  IsoMapResult result{std::move(sink_reports), std::move(map), 0, 0, 0, 0.0, 0.0, 0.0, 0.0, {}};
+  result.isoline_node_count = static_cast<int>(distinct_nodes.size());
+  result.generated_reports = generated;
+  result.delivered_reports = static_cast<int>(result.sink_reports.size());
+  result.report_traffic_bytes = report_bytes;
+  result.measurement_traffic_bytes = measurement_bytes;
+  result.dissemination_traffic_bytes = dissemination_bytes;
+  for (double slot : level_bottleneck) result.bottleneck_bytes += slot;
+  result.transmissions = std::move(transmission_log);
+  return result;
+}
+
+}  // namespace isomap

@@ -1,0 +1,86 @@
+#include "isomap/regression.hpp"
+
+#include <cmath>
+
+namespace isomap {
+
+bool solve3x3(double a[3][3], double b[3], double x[3]) {
+  int perm[3] = {0, 1, 2};
+  // Forward elimination with partial pivoting.
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r)
+      if (std::abs(a[perm[r]][col]) > std::abs(a[perm[pivot]][col])) pivot = r;
+    std::swap(perm[col], perm[pivot]);
+    const double diag = a[perm[col]][col];
+    if (std::abs(diag) < 1e-12) return false;
+    for (int r = col + 1; r < 3; ++r) {
+      const double factor = a[perm[r]][col] / diag;
+      a[perm[r]][col] = 0.0;
+      for (int c = col + 1; c < 3; ++c) a[perm[r]][c] -= factor * a[perm[col]][c];
+      b[perm[r]] -= factor * b[perm[col]];
+    }
+  }
+  // Back substitution.
+  for (int row = 2; row >= 0; --row) {
+    double acc = b[perm[row]];
+    for (int c = row + 1; c < 3; ++c) acc -= a[perm[row]][c] * x[c];
+    x[row] = acc / a[perm[row]][row];
+  }
+  return true;
+}
+
+std::optional<PlaneFit> fit_plane(const std::vector<FieldSample>& samples,
+                                  double* ops) {
+  if (samples.size() < 3) return std::nullopt;
+
+  // Accumulate the normal-equation sums of Eq. 2. Centre the coordinates
+  // on the sample mean for numerical stability (the fitted gradient is
+  // translation-invariant; c0 is shifted back afterwards).
+  Vec2 mean{};
+  double mean_v = 0.0;
+  for (const auto& s : samples) {
+    mean += s.pos;
+    mean_v += s.value;
+  }
+  const double inv_n = 1.0 / static_cast<double>(samples.size());
+  mean *= inv_n;
+  mean_v *= inv_n;
+
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  double sv = 0.0, sxv = 0.0, syv = 0.0;
+  for (const auto& s : samples) {
+    const double x = s.pos.x - mean.x;
+    const double y = s.pos.y - mean.y;
+    const double v = s.value - mean_v;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+    sv += v;
+    sxv += x * v;
+    syv += y * v;
+  }
+
+  const auto n = static_cast<double>(samples.size());
+  double a[3][3] = {{n, sx, sy}, {sx, sxx, sxy}, {sy, sxy, syy}};
+  double b[3] = {sv, sxv, syv};
+  double w[3];
+  if (!solve3x3(a, b, w)) return std::nullopt;
+
+  PlaneFit fit;
+  fit.c1 = w[1];
+  fit.c2 = w[2];
+  // Un-centre the intercept: v = mean_v + w0 + c1 (x - mx) + c2 (y - my).
+  fit.c0 = mean_v + w[0] - fit.c1 * mean.x - fit.c2 * mean.y;
+
+  if (ops) {
+    // ~12 multiply-adds per sample for the sums plus a constant ~40 for
+    // the 3x3 solve — the O(deg) cost quoted in Section 4.2.
+    *ops += 12.0 * n + 40.0;
+  }
+  return fit;
+}
+
+}  // namespace isomap

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace isomap {
+
+/// A (position, value) sample used in the local regression.
+struct FieldSample {
+  Vec2 pos{};
+  double value = 0.0;
+};
+
+/// Result of the local linear fit v = c0 + c1*x + c2*y.
+struct PlaneFit {
+  double c0 = 0.0;
+  double c1 = 0.0;
+  double c2 = 0.0;
+
+  double value_at(Vec2 p) const { return c0 + c1 * p.x + c2 * p.y; }
+  /// Gradient of the fitted plane.
+  Vec2 gradient() const { return {c1, c2}; }
+  /// The paper's reported direction d = -(c1, c2) (Eq. 3): steepest
+  /// descent, approximating the isoline normal pointing downhill.
+  Vec2 descent_direction() const { return {-c1, -c2}; }
+};
+
+/// Least-squares plane fit through the samples by solving the 3x3 normal
+/// equations A w = b of Eq. 2 (Section 3.3). Returns nullopt when the
+/// samples are degenerate (fewer than 3, or collinear positions), in which
+/// case no gradient estimate exists.
+///
+/// `ops` (if non-null) is incremented with the arithmetic-operation count,
+/// which the protocol charges to the node's compute ledger — this is the
+/// O(deg) per-isoline-node cost of Section 4.2.
+std::optional<PlaneFit> fit_plane(const std::vector<FieldSample>& samples,
+                                  double* ops = nullptr);
+
+/// Solve a 3x3 linear system in-place by Gaussian elimination with partial
+/// pivoting. Returns false if singular. Exposed for testing.
+bool solve3x3(double a[3][3], double b[3], double x[3]);
+
+}  // namespace isomap

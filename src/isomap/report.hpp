@@ -1,0 +1,21 @@
+#pragma once
+
+#include "geometry/vec2.hpp"
+
+namespace isomap {
+
+/// The 3-tuple report an isoline node sends to the sink (Section 3.3):
+/// r = <isolevel, position, gradient direction>. `source` identifies the
+/// reporting node for bookkeeping (it is not transmitted).
+struct IsolineReport {
+  double isolevel = 0.0;
+  Vec2 position{};
+  Vec2 gradient{};  ///< d = -grad(f): direction of steepest value decrease.
+  int source = -1;
+
+  /// Wire size in bytes. The paper's evaluation charges two bytes per
+  /// parameter (value, x, y, dx, dy) -> 10 bytes per report.
+  static constexpr double kWireBytes = 10.0;
+};
+
+}  // namespace isomap

@@ -1,0 +1,46 @@
+#include "net/channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace isomap {
+
+Channel::Channel() : rng_(0) {}
+
+Channel::Channel(double loss_probability, int max_retries, Rng rng)
+    : loss_probability_(loss_probability),
+      max_retries_(max_retries),
+      rng_(rng) {
+  if (loss_probability < 0.0 || loss_probability >= 1.0)
+    throw std::invalid_argument("Channel: loss_probability must be in [0,1)");
+  if (max_retries < 0)
+    throw std::invalid_argument("Channel: max_retries must be >= 0");
+}
+
+bool Channel::send(int from, int to, double bytes, Ledger& ledger) {
+  if (perfect()) {
+    ++attempts_;
+    ledger.transmit(from, to, bytes);
+    return true;
+  }
+  for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+    ++attempts_;
+    if (rng_.bernoulli(loss_probability_)) {
+      // Lost attempt: sender still burned the airtime; receiver decoded
+      // nothing useful.
+      ledger.transmit_lost(from, bytes);
+      continue;
+    }
+    ledger.transmit(from, to, bytes);
+    return true;
+  }
+  ++drops_;
+  return false;
+}
+
+double Channel::delivery_probability() const {
+  if (perfect()) return 1.0;
+  return 1.0 - std::pow(loss_probability_, max_retries_ + 1);
+}
+
+}  // namespace isomap

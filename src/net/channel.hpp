@@ -1,0 +1,49 @@
+#pragma once
+
+#include "net/ledger.hpp"
+#include "util/rng.hpp"
+
+namespace isomap {
+
+/// Link-layer model. The paper assumes a perfect link layer ("data
+/// delivery is guaranteed through performance-based routing dynamics and
+/// MAC layer retransmissions", Section 5); this class makes that
+/// assumption explicit and optionally relaxes it: each hop transmission
+/// is lost independently with `loss_probability`, and ARQ retries up to
+/// `max_retries` times (B-MAC/Z-MAC style, the MAC schemes the paper
+/// cites). Every attempt — including failed ones — is charged to the
+/// ledger: the sender pays TX for each try, the receiver pays RX only
+/// for the try it successfully decodes.
+class Channel {
+ public:
+  /// Perfect channel: every send succeeds on the first try.
+  Channel();
+
+  /// Lossy channel with ARQ. loss_probability in [0, 1);
+  /// max_retries >= 0 extra attempts after the first.
+  Channel(double loss_probability, int max_retries, Rng rng);
+
+  /// Deliver `bytes` one hop from `from` to `to`, charging the ledger per
+  /// attempt. Returns false when every attempt was lost (the message is
+  /// dropped).
+  bool send(int from, int to, double bytes, Ledger& ledger);
+
+  bool perfect() const { return loss_probability_ <= 0.0; }
+  double loss_probability() const { return loss_probability_; }
+  int max_retries() const { return max_retries_; }
+
+  /// Cumulative statistics since construction.
+  long long attempts() const { return attempts_; }
+  long long drops() const { return drops_; }
+  /// Expected per-hop delivery probability for these parameters.
+  double delivery_probability() const;
+
+ private:
+  double loss_probability_ = 0.0;
+  int max_retries_ = 0;
+  Rng rng_;
+  long long attempts_ = 0;
+  long long drops_ = 0;
+};
+
+}  // namespace isomap

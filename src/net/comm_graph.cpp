@@ -1,0 +1,135 @@
+#include "net/comm_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace isomap {
+
+CommGraph::CommGraph(const Deployment& deployment, double radio_range)
+    : radio_range_(radio_range) {
+  if (radio_range <= 0.0)
+    throw std::invalid_argument("CommGraph: radio_range must be positive");
+  const auto& nodes = deployment.nodes();
+  const std::size_t n = nodes.size();
+  adjacency_.resize(n);
+  alive_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) alive_[i] = nodes[i].alive;
+
+  // Spatial hash with cell size = radio range; each node only checks the
+  // 3x3 cell block around it.
+  const FieldBounds b = deployment.bounds();
+  const int cols =
+      std::max(1, static_cast<int>(std::floor(b.width() / radio_range)));
+  const int rows =
+      std::max(1, static_cast<int>(std::floor(b.height() / radio_range)));
+  const double cw = b.width() / cols;
+  const double ch = b.height() / rows;
+  auto cell_of = [&](Vec2 p) {
+    int c = static_cast<int>((p.x - b.x0) / cw);
+    int r = static_cast<int>((p.y - b.y0) / ch);
+    c = std::clamp(c, 0, cols - 1);
+    r = std::clamp(r, 0, rows - 1);
+    return r * cols + c;
+  };
+  std::vector<std::vector<int>> buckets(static_cast<std::size_t>(cols) * rows);
+  for (const auto& node : nodes)
+    if (node.alive) buckets[static_cast<std::size_t>(cell_of(node.pos))].push_back(node.id);
+
+  const double range2 = radio_range * radio_range;
+  for (const auto& node : nodes) {
+    if (!node.alive) continue;
+    const int c0 = std::clamp(
+        static_cast<int>((node.pos.x - b.x0) / cw), 0, cols - 1);
+    const int r0 = std::clamp(
+        static_cast<int>((node.pos.y - b.y0) / ch), 0, rows - 1);
+    for (int dr = -1; dr <= 1; ++dr) {
+      for (int dc = -1; dc <= 1; ++dc) {
+        const int r = r0 + dr;
+        const int c = c0 + dc;
+        if (r < 0 || r >= rows || c < 0 || c >= cols) continue;
+        for (int j : buckets[static_cast<std::size_t>(r) * cols + c]) {
+          if (j == node.id) continue;
+          if ((nodes[static_cast<std::size_t>(j)].pos - node.pos).norm2() <=
+              range2)
+            adjacency_[static_cast<std::size_t>(node.id)].push_back(j);
+        }
+      }
+    }
+    auto& adj = adjacency_[static_cast<std::size_t>(node.id)];
+    std::sort(adj.begin(), adj.end());
+  }
+}
+
+double CommGraph::average_degree() const {
+  long long total = 0;
+  long long alive_count = 0;
+  for (std::size_t i = 0; i < adjacency_.size(); ++i) {
+    if (!alive_[i]) continue;
+    ++alive_count;
+    total += static_cast<long long>(adjacency_[i].size());
+  }
+  return alive_count ? static_cast<double>(total) / static_cast<double>(alive_count) : 0.0;
+}
+
+std::vector<int> CommGraph::k_hop_neighbours(int i, int k) const {
+  std::vector<int> out;
+  for (const auto& [node, dist] : k_hop_neighbours_with_distance(i, k))
+    out.push_back(node);
+  return out;
+}
+
+std::vector<std::pair<int, int>> CommGraph::k_hop_neighbours_with_distance(
+    int i, int k) const {
+  std::vector<std::pair<int, int>> out;
+  if (i < 0 || static_cast<std::size_t>(i) >= adjacency_.size() ||
+      !alive_[static_cast<std::size_t>(i)] || k <= 0)
+    return out;
+  std::vector<int> dist(adjacency_.size(), -1);
+  std::queue<int> queue;
+  dist[static_cast<std::size_t>(i)] = 0;
+  queue.push(i);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    if (dist[static_cast<std::size_t>(u)] >= k) continue;
+    for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+      if (dist[static_cast<std::size_t>(v)] != -1) continue;
+      dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+      out.emplace_back(v, dist[static_cast<std::size_t>(v)]);
+      queue.push(v);
+    }
+  }
+  return out;
+}
+
+bool CommGraph::is_connected() const {
+  int start = -1;
+  int alive_count = 0;
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i]) {
+      ++alive_count;
+      if (start == -1) start = static_cast<int>(i);
+    }
+  }
+  if (alive_count <= 1) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::queue<int> queue;
+  seen[static_cast<std::size_t>(start)] = true;
+  queue.push(start);
+  int reached = 1;
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+      if (seen[static_cast<std::size_t>(v)]) continue;
+      seen[static_cast<std::size_t>(v)] = true;
+      ++reached;
+      queue.push(v);
+    }
+  }
+  return reached == alive_count;
+}
+
+}  // namespace isomap

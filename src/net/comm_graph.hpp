@@ -1,0 +1,51 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "net/deployment.hpp"
+
+namespace isomap {
+
+/// Unit-disc communication graph over the alive nodes of a deployment:
+/// two alive nodes are neighbours iff their distance is <= radio_range.
+/// Built with a uniform spatial hash so construction is O(n) for the
+/// unit-density deployments the paper simulates.
+class CommGraph {
+ public:
+  CommGraph(const Deployment& deployment, double radio_range);
+
+  double radio_range() const { return radio_range_; }
+  int size() const { return static_cast<int>(adjacency_.size()); }
+
+  /// Neighbour ids of node i (empty for dead nodes).
+  const std::vector<int>& neighbours(int i) const {
+    return adjacency_[static_cast<std::size_t>(i)];
+  }
+
+  int degree(int i) const {
+    return static_cast<int>(adjacency_[static_cast<std::size_t>(i)].size());
+  }
+
+  /// Mean degree over alive nodes (0 if none).
+  double average_degree() const;
+
+  /// Nodes within k hops of i, excluding i itself (BFS over alive nodes).
+  std::vector<int> k_hop_neighbours(int i, int k) const;
+
+  /// As k_hop_neighbours, but each entry carries its hop distance from i.
+  std::vector<std::pair<int, int>> k_hop_neighbours_with_distance(int i,
+                                                                  int k) const;
+
+  /// True if all alive nodes are mutually reachable.
+  bool is_connected() const;
+
+  bool alive(int i) const { return alive_[static_cast<std::size_t>(i)]; }
+
+ private:
+  double radio_range_;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<bool> alive_;
+};
+
+}  // namespace isomap

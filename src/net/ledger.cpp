@@ -1,0 +1,71 @@
+#include "net/ledger.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace isomap {
+
+Ledger::Ledger(int num_nodes) {
+  if (num_nodes < 0) throw std::invalid_argument("Ledger: negative size");
+  tx_bytes_.assign(static_cast<std::size_t>(num_nodes), 0.0);
+  rx_bytes_.assign(static_cast<std::size_t>(num_nodes), 0.0);
+  ops_.assign(static_cast<std::size_t>(num_nodes), 0.0);
+}
+
+void Ledger::transmit(int from, int to, double bytes) {
+  tx_bytes_.at(static_cast<std::size_t>(from)) += bytes;
+  rx_bytes_.at(static_cast<std::size_t>(to)) += bytes;
+}
+
+void Ledger::broadcast(int from, const std::vector<int>& receivers,
+                       double bytes) {
+  tx_bytes_.at(static_cast<std::size_t>(from)) += bytes;
+  for (int r : receivers) rx_bytes_.at(static_cast<std::size_t>(r)) += bytes;
+}
+
+void Ledger::transmit_lost(int from, double bytes) {
+  tx_bytes_.at(static_cast<std::size_t>(from)) += bytes;
+}
+
+void Ledger::compute(int node, double ops) {
+  ops_.at(static_cast<std::size_t>(node)) += ops;
+}
+
+double Ledger::total_tx_bytes() const {
+  double total = 0.0;
+  for (double b : tx_bytes_) total += b;
+  return total;
+}
+
+double Ledger::total_rx_bytes() const {
+  double total = 0.0;
+  for (double b : rx_bytes_) total += b;
+  return total;
+}
+
+double Ledger::total_ops() const {
+  double total = 0.0;
+  for (double o : ops_) total += o;
+  return total;
+}
+
+double Ledger::mean_ops() const {
+  return ops_.empty() ? 0.0 : total_ops() / static_cast<double>(ops_.size());
+}
+
+double Ledger::max_ops() const {
+  double best = 0.0;
+  for (double o : ops_) best = std::max(best, o);
+  return best;
+}
+
+void Ledger::merge(const Ledger& other) {
+  if (other.size() != size()) throw std::invalid_argument("Ledger size mismatch");
+  for (std::size_t i = 0; i < tx_bytes_.size(); ++i) {
+    tx_bytes_[i] += other.tx_bytes_[i];
+    rx_bytes_[i] += other.rx_bytes_[i];
+    ops_[i] += other.ops_[i];
+  }
+}
+
+}  // namespace isomap

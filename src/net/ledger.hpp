@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace isomap {
+
+/// Per-node accounting of communication (bytes transmitted/received per
+/// hop) and computation (arithmetic operations). Every protocol run —
+/// Iso-Map and all baselines — charges its costs here so Figs. 14-16 read
+/// off one uniform ledger, which the energy model then converts to Joules.
+class Ledger {
+ public:
+  explicit Ledger(int num_nodes);
+
+  int size() const { return static_cast<int>(tx_bytes_.size()); }
+
+  /// One-hop transmission of `bytes` from node `from` to node `to`.
+  void transmit(int from, int to, double bytes);
+
+  /// Local broadcast: the sender pays one transmission of `bytes`; every
+  /// listed receiver pays one reception of `bytes`.
+  void broadcast(int from, const std::vector<int>& receivers, double bytes);
+
+  /// A transmission that was lost in the channel: the sender pays the
+  /// airtime, nobody receives anything.
+  void transmit_lost(int from, double bytes);
+
+  /// Charge `ops` arithmetic operations to node `node`.
+  void compute(int node, double ops);
+
+  double tx_bytes(int node) const { return tx_bytes_[static_cast<std::size_t>(node)]; }
+  double rx_bytes(int node) const { return rx_bytes_[static_cast<std::size_t>(node)]; }
+  double ops(int node) const { return ops_[static_cast<std::size_t>(node)]; }
+
+  double total_tx_bytes() const;
+  double total_rx_bytes() const;
+  double total_ops() const;
+
+  /// Mean ops per node (over all nodes in the ledger).
+  double mean_ops() const;
+  double max_ops() const;
+
+  void merge(const Ledger& other);
+
+ private:
+  std::vector<double> tx_bytes_;
+  std::vector<double> rx_bytes_;
+  std::vector<double> ops_;
+};
+
+}  // namespace isomap

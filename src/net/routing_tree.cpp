@@ -1,0 +1,56 @@
+#include "net/routing_tree.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace isomap {
+
+RoutingTree::RoutingTree(const CommGraph& graph, int sink_id)
+    : sink_(sink_id) {
+  const std::size_t n = static_cast<std::size_t>(graph.size());
+  if (sink_id < 0 || static_cast<std::size_t>(sink_id) >= n ||
+      !graph.alive(sink_id))
+    throw std::invalid_argument("RoutingTree: invalid or dead sink");
+
+  parent_.assign(n, -1);
+  level_.assign(n, -1);
+  children_.assign(n, {});
+
+  std::queue<int> queue;
+  level_[static_cast<std::size_t>(sink_id)] = 0;
+  queue.push(sink_id);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    for (int v : graph.neighbours(u)) {
+      if (level_[static_cast<std::size_t>(v)] != -1) continue;
+      level_[static_cast<std::size_t>(v)] = level_[static_cast<std::size_t>(u)] + 1;
+      parent_[static_cast<std::size_t>(v)] = u;
+      children_[static_cast<std::size_t>(u)].push_back(v);
+      queue.push(v);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (level_[i] < 0) continue;
+    ++reachable_count_;
+    depth_ = std::max(depth_, level_[i]);
+    post_order_.push_back(static_cast<int>(i));
+  }
+  std::sort(post_order_.begin(), post_order_.end(), [this](int a, int b) {
+    return level_[static_cast<std::size_t>(a)] > level_[static_cast<std::size_t>(b)];
+  });
+}
+
+std::vector<int> RoutingTree::path_to_sink(int i) const {
+  std::vector<int> path;
+  if (i < 0 || static_cast<std::size_t>(i) >= level_.size() ||
+      level_[static_cast<std::size_t>(i)] < 0)
+    return path;
+  for (int u = i; u != -1; u = parent_[static_cast<std::size_t>(u)])
+    path.push_back(u);
+  return path;
+}
+
+}  // namespace isomap

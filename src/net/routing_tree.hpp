@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "net/comm_graph.hpp"
+
+namespace isomap {
+
+/// TAG-style spanning tree rooted at the sink, built by BFS over the
+/// communication graph: each node's level is its hop count from the sink
+/// and its parent is one level lower (Madden et al., OSDI'02 — the routing
+/// substrate the paper assumes in Section 3.1).
+class RoutingTree {
+ public:
+  RoutingTree(const CommGraph& graph, int sink_id);
+
+  int sink() const { return sink_; }
+
+  /// Parent id, or -1 for the sink and for unreachable/dead nodes.
+  int parent(int i) const { return parent_[static_cast<std::size_t>(i)]; }
+
+  /// Hop distance from the sink; -1 if unreachable.
+  int level(int i) const { return level_[static_cast<std::size_t>(i)]; }
+
+  bool reachable(int i) const { return level_[static_cast<std::size_t>(i)] >= 0; }
+
+  const std::vector<int>& children(int i) const {
+    return children_[static_cast<std::size_t>(i)];
+  }
+
+  /// Maximum level over reachable nodes (the network diameter from the
+  /// sink's perspective).
+  int depth() const { return depth_; }
+
+  /// Count of reachable nodes (including the sink).
+  int reachable_count() const { return reachable_count_; }
+
+  /// Reachable node ids ordered by decreasing level (leaves first); this is
+  /// the order in which the convergecast / in-network filtering pass
+  /// processes nodes.
+  const std::vector<int>& post_order() const { return post_order_; }
+
+  /// Hop path from node i to the sink (starting at i, ending at sink);
+  /// empty if unreachable.
+  std::vector<int> path_to_sink(int i) const;
+
+ private:
+  int sink_;
+  std::vector<int> parent_;
+  std::vector<int> level_;
+  std::vector<std::vector<int>> children_;
+  std::vector<int> post_order_;
+  int depth_ = 0;
+  int reachable_count_ = 0;
+};
+
+}  // namespace isomap

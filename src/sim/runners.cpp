@@ -1,0 +1,53 @@
+#include "sim/runners.hpp"
+
+namespace isomap {
+
+IsoMapRun run_isomap(const Scenario& scenario, const IsoMapOptions& options) {
+  Ledger ledger(scenario.deployment.size());
+  IsoMapProtocol protocol(options);
+  IsoMapResult result = protocol.run(scenario.readings, scenario.deployment,
+                                     scenario.graph, scenario.tree, ledger);
+  return {std::move(result), std::move(ledger)};
+}
+
+IsoMapRun run_isomap(const Scenario& scenario, int num_levels) {
+  IsoMapOptions options;
+  options.query = default_query(scenario.field, num_levels);
+  return run_isomap(scenario, options);
+}
+
+TinyDBRun run_tinydb(const Scenario& scenario, TinyDBOptions options) {
+  Ledger ledger(scenario.deployment.size());
+  TinyDBProtocol protocol(options);
+  TinyDBResult result = protocol.run(scenario.deployment, scenario.readings,
+                                     scenario.tree, ledger);
+  return {std::move(result), std::move(ledger)};
+}
+
+InlrRun run_inlr(const Scenario& scenario, InlrOptions options) {
+  Ledger ledger(scenario.deployment.size());
+  InlrProtocol protocol(options);
+  InlrResult result = protocol.run(scenario.deployment, scenario.readings,
+                                   scenario.tree, ledger);
+  return {result, std::move(ledger)};
+}
+
+EScanRun run_escan(const Scenario& scenario, EScanOptions options) {
+  Ledger ledger(scenario.deployment.size());
+  EScanProtocol protocol(options);
+  EScanResult result = protocol.run(scenario.deployment, scenario.readings,
+                                    scenario.tree, ledger);
+  return {result, std::move(ledger)};
+}
+
+SuppressionRun run_suppression(const Scenario& scenario,
+                               SuppressionOptions options) {
+  Ledger ledger(scenario.deployment.size());
+  SuppressionProtocol protocol(options);
+  SuppressionResult result =
+      protocol.run(scenario.deployment, scenario.readings, scenario.graph,
+                   scenario.tree, ledger);
+  return {result, std::move(ledger)};
+}
+
+}  // namespace isomap

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "baselines/escan.hpp"
+#include "baselines/inlr.hpp"
+#include "baselines/suppression.hpp"
+#include "baselines/tinydb.hpp"
+#include "energy/mica2.hpp"
+#include "isomap/protocol.hpp"
+#include "sim/scenario.hpp"
+
+namespace isomap {
+
+/// Result + ledger bundles so benchmark harnesses can read traffic,
+/// computation and energy off one object per protocol run.
+
+struct IsoMapRun {
+  IsoMapResult result;
+  Ledger ledger;
+};
+
+struct TinyDBRun {
+  TinyDBResult result;
+  Ledger ledger;
+};
+
+struct InlrRun {
+  InlrResult result;
+  Ledger ledger;
+};
+
+struct EScanRun {
+  EScanResult result;
+  Ledger ledger;
+};
+
+struct SuppressionRun {
+  SuppressionResult result;
+  Ledger ledger;
+};
+
+IsoMapRun run_isomap(const Scenario& scenario, const IsoMapOptions& options);
+
+/// Convenience: paper-default options with `num_levels` isolevels spanning
+/// the scenario field.
+IsoMapRun run_isomap(const Scenario& scenario, int num_levels = 4);
+
+TinyDBRun run_tinydb(const Scenario& scenario, TinyDBOptions options = {});
+InlrRun run_inlr(const Scenario& scenario, InlrOptions options = {});
+EScanRun run_escan(const Scenario& scenario, EScanOptions options = {});
+SuppressionRun run_suppression(const Scenario& scenario,
+                               SuppressionOptions options = {});
+
+}  // namespace isomap

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace isomap {
+
+/// Deterministic, seedable PRNG (xoshiro256**). All randomized components of
+/// the simulator take an explicit Rng so every experiment is reproducible
+/// from its seed. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Derive an independent stream for a sub-component.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace isomap

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "net/channel.hpp"
+
+namespace isomap {
+namespace {
+
+TEST(Channel, PerfectAlwaysDelivers) {
+  Channel channel;
+  Ledger ledger(2);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(channel.send(0, 1, 10.0, ledger));
+  EXPECT_DOUBLE_EQ(ledger.tx_bytes(0), 1000.0);
+  EXPECT_DOUBLE_EQ(ledger.rx_bytes(1), 1000.0);
+  EXPECT_EQ(channel.drops(), 0);
+  EXPECT_DOUBLE_EQ(channel.delivery_probability(), 1.0);
+}
+
+TEST(Channel, InvalidParametersThrow) {
+  EXPECT_THROW(Channel(1.0, 3, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(Channel(-0.1, 3, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(Channel(0.5, -1, Rng(1)), std::invalid_argument);
+}
+
+TEST(Channel, DeliveryProbabilityFormula) {
+  Channel channel(0.5, 1, Rng(1));
+  EXPECT_DOUBLE_EQ(channel.delivery_probability(), 0.75);
+  Channel no_retry(0.3, 0, Rng(1));
+  EXPECT_DOUBLE_EQ(no_retry.delivery_probability(), 0.7);
+}
+
+TEST(Channel, EmpiricalDeliveryMatchesFormula) {
+  Channel channel(0.4, 2, Rng(7));
+  Ledger ledger(2);
+  int delivered = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i)
+    delivered += channel.send(0, 1, 1.0, ledger) ? 1 : 0;
+  const double expected = 1.0 - 0.4 * 0.4 * 0.4;  // 0.936
+  EXPECT_NEAR(static_cast<double>(delivered) / kTrials, expected, 0.01);
+  EXPECT_EQ(channel.drops(), kTrials - delivered);
+}
+
+TEST(Channel, LostAttemptsChargeTxOnly) {
+  // With certain loss on every try (p close to 1, no retries), the sender
+  // pays airtime while the receiver pays nothing.
+  Channel channel(0.999, 0, Rng(3));
+  Ledger ledger(2);
+  int delivered = 0;
+  for (int i = 0; i < 1000; ++i)
+    delivered += channel.send(0, 1, 5.0, ledger) ? 1 : 0;
+  EXPECT_LT(delivered, 20);
+  EXPECT_DOUBLE_EQ(ledger.tx_bytes(0), 5000.0);
+  EXPECT_DOUBLE_EQ(ledger.rx_bytes(1), 5.0 * delivered);
+}
+
+TEST(Channel, RetriesIncreaseAttemptCount) {
+  Channel channel(0.5, 3, Rng(11));
+  Ledger ledger(2);
+  for (int i = 0; i < 1000; ++i) channel.send(0, 1, 1.0, ledger);
+  // Expected attempts per send: sum_{k=0..3} 0.5^k = 1.875.
+  EXPECT_NEAR(static_cast<double>(channel.attempts()) / 1000.0, 1.875, 0.1);
+}
+
+TEST(Channel, DeterministicForSeed) {
+  Channel a(0.3, 2, Rng(5));
+  Channel b(0.3, 2, Rng(5));
+  Ledger la(2), lb(2);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(a.send(0, 1, 1.0, la), b.send(0, 1, 1.0, lb));
+}
+
+}  // namespace
+}  // namespace isomap

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "energy/mica2.hpp"
+
+namespace isomap {
+namespace {
+
+TEST(Mica2, AirtimeAtDataRate) {
+  const Mica2Model m;
+  // 38.4 kbps -> 4800 bytes/s, so 4800 bytes take 1 second.
+  EXPECT_NEAR(m.airtime_s(4800.0), 1.0, 1e-12);
+}
+
+TEST(Mica2, TxRxEnergyPerByte) {
+  const Mica2Model m;
+  // 1 byte = 8 bits at 38.4 kbps = 208.3 us; at 42 mW -> 8.75 uJ.
+  EXPECT_NEAR(m.tx_energy_j(1.0), 8.0 / 38400.0 * 0.042, 1e-15);
+  EXPECT_NEAR(m.rx_energy_j(1.0), 8.0 / 38400.0 * 0.029, 1e-15);
+  EXPECT_GT(m.tx_energy_j(1.0), m.rx_energy_j(1.0));
+}
+
+TEST(Mica2, ComputeEnergyAt242MipsPerWatt) {
+  const Mica2Model m;
+  // 242e6 instructions per Joule.
+  EXPECT_NEAR(m.compute_energy_j(242e6), 1.0, 1e-9);
+  EXPECT_NEAR(m.compute_energy_j(1.0), 1.0 / 242e6, 1e-18);
+}
+
+TEST(Mica2, CommunicationDominatesComputation) {
+  // Transmitting a 10-byte report costs orders of magnitude more than the
+  // ~100 arithmetic ops that produced it — the premise of the paper's
+  // traffic-first optimization.
+  const Mica2Model m;
+  EXPECT_GT(m.tx_energy_j(10.0), 100.0 * m.compute_energy_j(100.0));
+}
+
+TEST(Mica2, LedgerTotalsAndMean) {
+  const Mica2Model m;
+  Ledger ledger(2);
+  ledger.transmit(0, 1, 100.0);
+  ledger.compute(0, 1000.0);
+  const double expected = m.tx_energy_j(100.0) + m.rx_energy_j(100.0) +
+                          m.compute_energy_j(1000.0);
+  EXPECT_NEAR(m.total_energy_j(ledger), expected, 1e-15);
+  EXPECT_NEAR(m.mean_node_energy_j(ledger), expected / 2.0, 1e-15);
+  EXPECT_NEAR(m.node_energy_j(ledger, 0),
+              m.tx_energy_j(100.0) + m.compute_energy_j(1000.0), 1e-15);
+  EXPECT_NEAR(m.node_energy_j(ledger, 1), m.rx_energy_j(100.0), 1e-15);
+}
+
+TEST(Mica2, EmptyLedgerIsZero) {
+  const Mica2Model m;
+  Ledger ledger(0);
+  EXPECT_DOUBLE_EQ(m.total_energy_j(ledger), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_node_energy_j(ledger), 0.0);
+}
+
+}  // namespace
+}  // namespace isomap

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "eval/level_map.hpp"
+#include "eval/metrics.hpp"
+#include "eval/render.hpp"
+#include "field/bathymetry.hpp"
+#include "isomap/contour_map.hpp"
+
+namespace isomap {
+namespace {
+
+TEST(LevelIndexOfValue, CountsLevelsAtOrBelowValue) {
+  const std::vector<double> levels{5.0, 6.0, 7.0};
+  EXPECT_EQ(level_index_of_value(4.0, levels), 0);
+  EXPECT_EQ(level_index_of_value(5.0, levels), 1);
+  EXPECT_EQ(level_index_of_value(5.5, levels), 1);
+  EXPECT_EQ(level_index_of_value(6.9, levels), 2);
+  EXPECT_EQ(level_index_of_value(7.0, levels), 3);
+  EXPECT_EQ(level_index_of_value(99.0, levels), 3);
+  EXPECT_EQ(level_index_of_value(1.0, {}), 0);
+}
+
+TEST(LevelMap, PixelCentersCoverBounds) {
+  LevelMap map({0, 0, 10, 10}, 5, 5);
+  EXPECT_EQ(map.pixel_center(0, 0), (Vec2{1, 1}));
+  EXPECT_EQ(map.pixel_center(4, 4), (Vec2{9, 9}));
+}
+
+TEST(LevelMap, AccuracyIdentityAndMismatch) {
+  LevelMap a({0, 0, 1, 1}, 10, 10);
+  EXPECT_DOUBLE_EQ(a.accuracy_against(a), 1.0);
+  LevelMap b = a;
+  b.at(0, 0) = 3;
+  EXPECT_DOUBLE_EQ(b.accuracy_against(a), 0.99);
+  LevelMap c({0, 0, 1, 1}, 5, 5);
+  EXPECT_THROW(a.accuracy_against(c), std::invalid_argument);
+}
+
+TEST(LevelMap, GroundTruthMatchesFieldValues) {
+  const GaussianField field = harbor_bathymetry();
+  const std::vector<double> levels{8.0, 10.0, 12.0};
+  const LevelMap truth = LevelMap::ground_truth(field, levels, 40, 40);
+  for (int iy = 0; iy < 40; iy += 7) {
+    for (int ix = 0; ix < 40; ix += 7) {
+      const Vec2 p = truth.pixel_center(ix, iy);
+      EXPECT_EQ(truth.at(ix, iy),
+                level_index_of_value(field.value(p), levels));
+    }
+  }
+  EXPECT_GE(truth.max_level(), 2);
+}
+
+TEST(LevelMap, InvalidDimensionsThrow) {
+  EXPECT_THROW(LevelMap({0, 0, 1, 1}, 0, 5), std::invalid_argument);
+}
+
+TEST(TrueIsolines, HarborChannelHasIsobaths) {
+  const GaussianField field = harbor_bathymetry();
+  const auto lines = true_isolines(field, 11.0, 150);
+  EXPECT_FALSE(lines.empty());
+  // Every extracted point sits near the isolevel.
+  for (const auto& line : lines)
+    for (const Vec2 p : line.points())
+      EXPECT_NEAR(field.value(p), 11.0, 0.2);
+}
+
+TEST(MappingAccuracy, PerfectReconstructionIsNearOne) {
+  // Feed the builder reports lying exactly on a straight isoline of a
+  // planar field: accuracy should be high.
+  const GaussianField plane({0, 0, 50, 50}, 0.0, {1.0, 0.0}, {});
+  std::vector<IsolineReport> reports;
+  for (int i = 0; i <= 10; ++i)
+    reports.push_back({25.0, {25.0, 5.0 * i}, {-1, 0}, i});
+  const ContourMap map =
+      ContourMapBuilder({0, 0, 50, 50}).build(reports, {25.0});
+  EXPECT_GT(mapping_accuracy(map, plane, {25.0}, 80), 0.98);
+}
+
+TEST(IsolineHausdorff, StraightLineReconstruction) {
+  const GaussianField plane({0, 0, 50, 50}, 0.0, {1.0, 0.0}, {});
+  std::vector<IsolineReport> reports;
+  for (int i = 0; i <= 10; ++i)
+    reports.push_back({25.0, {25.0, 5.0 * i}, {-1, 0}, i});
+  const ContourMap map =
+      ContourMapBuilder({0, 0, 50, 50}).build(reports, {25.0});
+  const double h = isoline_hausdorff(map, plane, {25.0}, 120, 0.5);
+  EXPECT_LT(h, 1.0);
+}
+
+TEST(IsolineHausdorff, EmptyMapIsInfinite) {
+  const GaussianField plane({0, 0, 50, 50}, 0.0, {1.0, 0.0}, {});
+  const ContourMap map = ContourMapBuilder({0, 0, 50, 50}).build({}, {25.0});
+  EXPECT_TRUE(std::isinf(isoline_hausdorff(map, plane, {25.0}, 60, 0.5)));
+}
+
+TEST(RegionIou, PerfectHalfPlaneReconstruction) {
+  const GaussianField plane({0, 0, 50, 50}, 0.0, {1.0, 0.0}, {});
+  std::vector<IsolineReport> reports;
+  for (int i = 0; i <= 10; ++i)
+    reports.push_back({25.0, {25.0, 5.0 * i}, {-1, 0}, i});
+  const ContourMap map =
+      ContourMapBuilder({0, 0, 50, 50}).build(reports, {25.0});
+  const auto iou = level_region_iou(map, plane, {25.0}, 80);
+  ASSERT_EQ(iou.size(), 1u);
+  EXPECT_GT(iou[0], 0.95);
+  EXPECT_NEAR(mean_region_iou(map, plane, {25.0}, 80), iou[0], 1e-12);
+}
+
+TEST(RegionIou, EmptyEstimateScoresZeroWhereTruthExists) {
+  const GaussianField plane({0, 0, 50, 50}, 0.0, {1.0, 0.0}, {});
+  const ContourMap map =
+      ContourMapBuilder({0, 0, 50, 50}).build({}, {25.0, 60.0});
+  const auto iou = level_region_iou(map, plane, {25.0, 60.0}, 60);
+  ASSERT_EQ(iou.size(), 2u);
+  EXPECT_DOUBLE_EQ(iou[0], 0.0);  // Truth has a region, estimate none.
+  EXPECT_DOUBLE_EQ(iou[1], 1.0);  // Neither has a region above 60.
+}
+
+TEST(RegionIou, PartialOverlapIsFractional) {
+  // True region is x >= 25 (25 units wide); placing the reports at x = 30
+  // makes the estimate x >= 30 (20 wide). IoU = 20 / 25.
+  const GaussianField plane({0, 0, 50, 50}, 0.0, {1.0, 0.0}, {});
+  std::vector<IsolineReport> reports;
+  for (int i = 0; i <= 10; ++i)
+    reports.push_back({25.0, {30.0, 5.0 * i}, {-1, 0}, i});
+  const ContourMap map =
+      ContourMapBuilder({0, 0, 50, 50}).build(reports, {25.0});
+  const auto iou = level_region_iou(map, plane, {25.0}, 100);
+  ASSERT_EQ(iou.size(), 1u);
+  EXPECT_NEAR(iou[0], 20.0 / 25.0, 0.03);
+}
+
+TEST(GradientErrorDeg, ExactAndOpposite) {
+  const GaussianField plane({0, 0, 10, 10}, 0.0, {1.0, 0.0}, {});
+  EXPECT_NEAR(gradient_error_deg(plane, {5, 5}, {-1, 0}), 0.0, 1e-9);
+  EXPECT_NEAR(gradient_error_deg(plane, {5, 5}, {1, 0}), 180.0, 1e-9);
+  EXPECT_NEAR(gradient_error_deg(plane, {5, 5}, {0, 1}), 90.0, 1e-9);
+}
+
+TEST(Render, AsciiDimensionsAndShades) {
+  LevelMap map({0, 0, 1, 1}, 8, 4);
+  map.at(0, 0) = 0;
+  map.at(7, 3) = 2;
+  const std::string art = ascii_render(map);
+  // 4 lines of 8 chars plus newlines.
+  EXPECT_EQ(art.size(), 4u * 9u);
+  // Top row of output is iy = ny-1 = 3; its last pixel (7,3) has the max
+  // level and renders as the darkest shade.
+  EXPECT_EQ(art[7], '@');
+  EXPECT_EQ(art[0], ' ');
+}
+
+TEST(Render, PairLayout) {
+  LevelMap map({0, 0, 1, 1}, 4, 2);
+  const std::string art = ascii_render_pair(map, map, "L", "R");
+  EXPECT_NE(art.find("L"), std::string::npos);
+  EXPECT_NE(art.find("R"), std::string::npos);
+}
+
+TEST(Render, PgmRoundTripHeader) {
+  LevelMap map({0, 0, 1, 1}, 6, 5);
+  map.at(2, 2) = 1;
+  const std::string path = "/tmp/isomap_test_render.pgm";
+  ASSERT_TRUE(write_pgm(map, path));
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 6);
+  EXPECT_EQ(h, 5);
+  EXPECT_EQ(maxv, 255);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace isomap

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isomap/filter.hpp"
+#include "util/rng.hpp"
+
+namespace isomap {
+namespace {
+
+IsolineReport report(double level, Vec2 pos, double grad_angle_deg) {
+  const double a = grad_angle_deg * M_PI / 180.0;
+  return {level, pos, {std::cos(a), std::sin(a)}, 0};
+}
+
+TEST(Filter, RedundantRequiresBothThresholds) {
+  const InNetworkFilter filter(30.0, 4.0);
+  const auto a = report(10.0, {0, 0}, 0.0);
+  // Close in space and angle: redundant.
+  EXPECT_TRUE(filter.redundant(a, report(10.0, {1, 0}, 10.0)));
+  // Close in space, far in angle: kept.
+  EXPECT_FALSE(filter.redundant(a, report(10.0, {1, 0}, 50.0)));
+  // Far in space, close in angle: kept.
+  EXPECT_FALSE(filter.redundant(a, report(10.0, {5, 0}, 10.0)));
+  // Different isolevels are never redundant.
+  EXPECT_FALSE(filter.redundant(a, report(11.0, {1, 0}, 10.0)));
+}
+
+TEST(Filter, ThresholdsAreExclusiveBounds) {
+  const InNetworkFilter filter(30.0, 4.0);
+  const auto a = report(10.0, {0, 0}, 0.0);
+  // Exactly at the distance threshold: not redundant (strict <).
+  EXPECT_FALSE(filter.redundant(a, report(10.0, {4, 0}, 0.0)));
+  // Just above the angular threshold: not redundant. (Exactly at the
+  // threshold is floating-point ambiguous and intentionally unspecified.)
+  EXPECT_FALSE(filter.redundant(a, report(10.0, {1, 0}, 30.001)));
+  EXPECT_TRUE(filter.redundant(a, report(10.0, {3.9, 0}, 29.0)));
+}
+
+TEST(Filter, ZeroThresholdsKeepEverything) {
+  const InNetworkFilter filter(0.0, 0.0);
+  std::vector<IsolineReport> reports;
+  for (int i = 0; i < 10; ++i)
+    reports.push_back(report(10.0, {i * 0.01, 0}, 0.0));
+  EXPECT_EQ(filter.filter(reports).size(), 10u);
+}
+
+TEST(Filter, NegativeThresholdThrows) {
+  EXPECT_THROW(InNetworkFilter(-1.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(InNetworkFilter(30.0, -1.0), std::invalid_argument);
+}
+
+TEST(Filter, FilterDropsClusteredReports) {
+  const InNetworkFilter filter(30.0, 4.0);
+  std::vector<IsolineReport> reports;
+  // Ten nearly identical reports plus one distant one.
+  for (int i = 0; i < 10; ++i)
+    reports.push_back(report(10.0, {0.1 * i, 0}, static_cast<double>(i)));
+  reports.push_back(report(10.0, {20, 0}, 0.0));
+  const auto kept = filter.filter(reports);
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(Filter, FilterIsIdempotent) {
+  const InNetworkFilter filter(30.0, 4.0);
+  Rng rng(1);
+  std::vector<IsolineReport> reports;
+  for (int i = 0; i < 100; ++i)
+    reports.push_back(report(10.0, {rng.uniform(0, 30), rng.uniform(0, 30)},
+                             rng.uniform(0, 360)));
+  const auto once = filter.filter(reports);
+  const auto twice = filter.filter(once);
+  EXPECT_EQ(once.size(), twice.size());
+}
+
+TEST(Filter, KeptSetHasNoRedundantPair) {
+  const InNetworkFilter filter(30.0, 4.0);
+  Rng rng(2);
+  std::vector<IsolineReport> reports;
+  for (int i = 0; i < 200; ++i)
+    reports.push_back(report(10.0, {rng.uniform(0, 20), rng.uniform(0, 20)},
+                             rng.uniform(0, 360)));
+  const auto kept = filter.filter(reports);
+  for (std::size_t i = 0; i < kept.size(); ++i)
+    for (std::size_t j = i + 1; j < kept.size(); ++j)
+      EXPECT_FALSE(filter.redundant(kept[i], kept[j]));
+}
+
+TEST(Filter, MergeAccumulatesOps) {
+  const InNetworkFilter filter(30.0, 4.0);
+  std::vector<IsolineReport> kept{report(10.0, {0, 0}, 0.0)};
+  double ops = 0.0;
+  filter.merge(kept, {report(10.0, {10, 0}, 0.0)}, &ops);
+  EXPECT_DOUBLE_EQ(ops, InNetworkFilter::kOpsPerComparison);
+  filter.merge(kept, {report(10.0, {20, 0}, 0.0)}, &ops);
+  EXPECT_DOUBLE_EQ(ops, 3 * InNetworkFilter::kOpsPerComparison);
+}
+
+TEST(Filter, FromQueryUsesQueryThresholds) {
+  ContourQuery query;
+  query.angular_separation_deg = 45.0;
+  query.distance_separation = 2.0;
+  const InNetworkFilter filter = InNetworkFilter::from_query(query);
+  EXPECT_NEAR(filter.angular_threshold_rad(), M_PI / 4, 1e-12);
+  EXPECT_DOUBLE_EQ(filter.distance_threshold(), 2.0);
+}
+
+class FilterProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FilterProperty, LooserThresholdsKeepFewer) {
+  const auto [sa, sd] = GetParam();
+  Rng rng(7);
+  std::vector<IsolineReport> reports;
+  for (int i = 0; i < 300; ++i)
+    reports.push_back(report(10.0, {rng.uniform(0, 50), rng.uniform(0, 50)},
+                             rng.uniform(0, 360)));
+  const InNetworkFilter base(sa, sd);
+  const InNetworkFilter looser(sa * 2.0, sd * 2.0);
+  EXPECT_LE(looser.filter(reports).size(), base.filter(reports).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, FilterProperty,
+    ::testing::Values(std::make_tuple(10.0, 1.0), std::make_tuple(30.0, 4.0),
+                      std::make_tuple(45.0, 2.0), std::make_tuple(15.0, 8.0)));
+
+}  // namespace
+}  // namespace isomap

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "eval/geojson.hpp"
+
+namespace isomap {
+namespace {
+
+std::vector<IsolineReport> circle_reports(Vec2 c, double r, int n,
+                                          double level) {
+  std::vector<IsolineReport> reports;
+  for (int i = 0; i < n; ++i) {
+    const double a = 2 * M_PI * i / n;
+    const Vec2 dir{std::cos(a), std::sin(a)};
+    reports.push_back({level, c + dir * r, dir, i});
+  }
+  return reports;
+}
+
+TEST(GeoJson, EmptyCollectionIsValid) {
+  GeoJsonWriter writer;
+  const std::string doc = writer.str();
+  EXPECT_NE(doc.find("\"FeatureCollection\""), std::string::npos);
+  EXPECT_EQ(writer.feature_count(), 0u);
+}
+
+TEST(GeoJson, OpenChainBecomesLineString) {
+  GeoJsonWriter writer;
+  writer.add_isoline(Polyline({{0, 0}, {1, 1}, {2, 0}}, false), 5.0, 1);
+  const std::string doc = writer.str();
+  EXPECT_NE(doc.find("\"LineString\""), std::string::npos);
+  EXPECT_NE(doc.find("\"isolevel\":5"), std::string::npos);
+  EXPECT_NE(doc.find("[0,0],[1,1],[2,0]"), std::string::npos);
+}
+
+TEST(GeoJson, ClosedChainBecomesPolygonWithClosedRing) {
+  GeoJsonWriter writer;
+  writer.add_isoline(Polyline({{0, 0}, {2, 0}, {1, 2}}, true), 7.5, 2);
+  const std::string doc = writer.str();
+  EXPECT_NE(doc.find("\"Polygon\""), std::string::npos);
+  // Ring repeats the first vertex.
+  EXPECT_NE(doc.find("[0,0],[2,0],[1,2],[0,0]"), std::string::npos);
+}
+
+TEST(GeoJson, DegenerateChainSkipped) {
+  GeoJsonWriter writer;
+  writer.add_isoline(Polyline({{1, 1}}, false), 5.0, 1);
+  EXPECT_EQ(writer.feature_count(), 0u);
+}
+
+TEST(GeoJson, ReportsBecomePointsWithGradient) {
+  GeoJsonWriter writer;
+  writer.add_reports({{5.0, {3, 4}, {0, 1}, 42}});
+  const std::string doc = writer.str();
+  EXPECT_NE(doc.find("\"Point\""), std::string::npos);
+  EXPECT_NE(doc.find("\"source\":42"), std::string::npos);
+  EXPECT_NE(doc.find("\"coordinates\":[3,4]"), std::string::npos);
+  EXPECT_NE(doc.find("\"gradient\":[0,1]"), std::string::npos);
+}
+
+TEST(GeoJson, ContourMapExportsAllLevels) {
+  std::vector<IsolineReport> reports;
+  for (const auto& r : circle_reports({25, 25}, 15, 10, 5.0))
+    reports.push_back(r);
+  for (const auto& r : circle_reports({25, 25}, 7, 8, 6.0))
+    reports.push_back(r);
+  const ContourMap map =
+      ContourMapBuilder({0, 0, 50, 50}).build(reports, {5.0, 6.0});
+  GeoJsonWriter writer;
+  writer.add_contour_map(map);
+  EXPECT_GT(writer.feature_count(), 0u);
+  const std::string doc = writer.str();
+  EXPECT_NE(doc.find("\"isolevel\":5"), std::string::npos);
+  EXPECT_NE(doc.find("\"isolevel\":6"), std::string::npos);
+  // Balanced braces (cheap well-formedness check).
+  long depth = 0;
+  for (char ch : doc) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(GeoJson, SaveWritesFile) {
+  GeoJsonWriter writer;
+  writer.add_isoline(Polyline({{0, 0}, {1, 0}}, false), 1.0, 1);
+  const std::string path = "/tmp/isomap_geojson_test.json";
+  ASSERT_TRUE(writer.save(path));
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_NE(first.find("FeatureCollection"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace isomap

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/isoline_agg.hpp"
+#include "eval/level_map.hpp"
+#include "sim/runners.hpp"
+
+namespace isomap {
+namespace {
+
+TEST(ChainPoints, LinksCollinearRun) {
+  std::vector<Vec2> points;
+  for (int i = 0; i < 10; ++i) points.push_back({i * 1.0, 0.0});
+  const auto chains = chain_points(points, 1.5);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].size(), 10u);
+  EXPECT_FALSE(chains[0].closed());
+  EXPECT_NEAR(chains[0].length(), 9.0, 1e-9);
+}
+
+TEST(ChainPoints, ClosesLoop) {
+  std::vector<Vec2> points;
+  for (int i = 0; i < 12; ++i) {
+    const double a = 2 * M_PI * i / 12;
+    points.push_back({10 * std::cos(a), 10 * std::sin(a)});
+  }
+  const auto chains = chain_points(points, 6.0);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_TRUE(chains[0].closed());
+  EXPECT_EQ(chains[0].size(), 12u);
+}
+
+TEST(ChainPoints, SeparatesDistantClusters) {
+  std::vector<Vec2> points = {{0, 0}, {1, 0}, {2, 0},
+                              {50, 0}, {51, 0}, {52, 0}};
+  const auto chains = chain_points(points, 2.0);
+  EXPECT_EQ(chains.size(), 2u);
+}
+
+TEST(ChainPoints, EmptyAndSingleton) {
+  EXPECT_TRUE(chain_points({}, 1.0).empty());
+  const auto chains = chain_points({{3, 3}}, 1.0);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].size(), 1u);
+}
+
+TEST(ChainPoints, GrowsFromBothEnds) {
+  // Seeded mid-chain, linking must extend both directions.
+  std::vector<Vec2> points = {{5, 0}, {0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  const auto chains = chain_points(points, 1.5);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].size(), 6u);
+}
+
+class IsolineAggFixture : public ::testing::Test {
+ protected:
+  IsolineAggFixture() : scenario_(make()) {}
+  static Scenario make() {
+    ScenarioConfig config;
+    config.num_nodes = 2500;
+    config.seed = 31;
+    return make_scenario(config);
+  }
+  Scenario scenario_;
+};
+
+TEST_F(IsolineAggFixture, RunsEndToEnd) {
+  IsolineAggOptions options;
+  options.query = default_query(scenario_.field, 4);
+  IsolineAggProtocol protocol(options);
+  Ledger ledger(scenario_.deployment.size());
+  const IsolineAggResult result =
+      protocol.run(scenario_.readings, scenario_.deployment, scenario_.graph,
+                   scenario_.tree, ledger);
+  EXPECT_GT(result.delivered_reports, 10);
+  EXPECT_LE(result.delivered_reports, result.generated_reports);
+  EXPECT_GT(result.traffic_bytes, 0.0);
+  // Points and values stay aligned per level.
+  for (std::size_t k = 0; k < result.sink_points.size(); ++k)
+    EXPECT_EQ(result.sink_points[k].size(), result.sink_values[k].size());
+}
+
+TEST_F(IsolineAggFixture, MapClassifiesBothSidesOfIsolines) {
+  IsolineAggOptions options;
+  options.query = default_query(scenario_.field, 4);
+  IsolineAggProtocol protocol(options);
+  Ledger ledger(scenario_.deployment.size());
+  const IsolineAggResult result =
+      protocol.run(scenario_.readings, scenario_.deployment, scenario_.graph,
+                   scenario_.tree, ledger);
+  const IsolineAggMap map =
+      protocol.build_map(result, scenario_.field.bounds());
+  // Some spread of level indices must appear (not all 0, not all max).
+  std::set<int> seen;
+  for (int iy = 0; iy < 20; ++iy)
+    for (int ix = 0; ix < 20; ++ix)
+      seen.insert(map.level_index(
+          {50.0 * (ix + 0.5) / 20, 50.0 * (iy + 0.5) / 20}));
+  EXPECT_GE(seen.size(), 3u);
+}
+
+TEST_F(IsolineAggFixture, GradientFreeMapIsWorseThanIsoMap) {
+  // The ablation claim as an invariant: at the same query, Iso-Map's
+  // gradient-bearing reconstruction beats position-only aggregation.
+  const ContourQuery query = default_query(scenario_.field, 4);
+  const auto levels = query.isolevels();
+  const LevelMap truth =
+      LevelMap::ground_truth(scenario_.field, levels, 60, 60);
+
+  const IsoMapRun iso = run_isomap(scenario_, 4);
+  const LevelMap iso_map = LevelMap::rasterize(
+      scenario_.field.bounds(), 60, 60,
+      [&](Vec2 p) { return iso.result.map.level_index(p); });
+
+  IsolineAggOptions options;
+  options.query = query;
+  IsolineAggProtocol protocol(options);
+  Ledger ledger(scenario_.deployment.size());
+  const IsolineAggResult result =
+      protocol.run(scenario_.readings, scenario_.deployment, scenario_.graph,
+                   scenario_.tree, ledger);
+  const IsolineAggMap agg =
+      protocol.build_map(result, scenario_.field.bounds());
+  const LevelMap agg_map = LevelMap::rasterize(
+      scenario_.field.bounds(), 60, 60,
+      [&](Vec2 p) { return agg.level_index(p); });
+
+  EXPECT_GT(iso_map.accuracy_against(truth),
+            agg_map.accuracy_against(truth) + 0.1);
+}
+
+TEST(IsolineAggMap, InterpolationExactAtSamples) {
+  IsolineAggMap map({0, 0, 10, 10}, {5.0},
+                    {{Polyline({{2, 2}, {8, 8}}, false)}},
+                    {{2, 2}, {8, 8}}, {4.9, 5.1});
+  EXPECT_NEAR(map.interpolated_value({2, 2}), 4.9, 1e-9);
+  EXPECT_NEAR(map.interpolated_value({8, 8}), 5.1, 1e-9);
+  EXPECT_EQ(map.level_index({2, 2}), 0);  // 4.9 < 5.0.
+  EXPECT_EQ(map.level_index({8, 8}), 1);  // 5.1 >= 5.0.
+}
+
+TEST(IsolineAggMap, EmptyMapClassifiesZero) {
+  IsolineAggMap map({0, 0, 10, 10}, {5.0}, {{}}, {}, {});
+  EXPECT_EQ(map.level_index({5, 5}), 0);
+  EXPECT_TRUE(std::isnan(map.interpolated_value({5, 5})));
+}
+
+}  // namespace
+}  // namespace isomap

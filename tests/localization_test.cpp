@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+#include "net/localization.hpp"
+#include "sim/runners.hpp"
+
+namespace isomap {
+namespace {
+
+Scenario dense_scenario(std::uint64_t seed = 1, int n = 2500) {
+  ScenarioConfig config;
+  config.num_nodes = n;
+  config.seed = seed;
+  return make_scenario(config);
+}
+
+TEST(DvHop, SelectsRequestedAnchorCount) {
+  const Scenario s = dense_scenario();
+  Rng rng(3);
+  Ledger ledger(s.deployment.size());
+  DvHopOptions options;
+  options.anchor_fraction = 0.02;
+  const DvHopResult result =
+      dv_hop_localize(s.deployment, s.graph, options, rng, ledger);
+  EXPECT_EQ(result.anchors.size(), 50u);
+  // Anchors are distinct.
+  std::set<int> unique(result.anchors.begin(), result.anchors.end());
+  EXPECT_EQ(unique.size(), result.anchors.size());
+}
+
+TEST(DvHop, ErrorsAreModestAtDegreeSeven) {
+  // DV-Hop on a connected degree-7 network typically localizes within a
+  // couple of radio ranges.
+  const Scenario s = dense_scenario(2);
+  Rng rng(4);
+  Ledger ledger(s.deployment.size());
+  DvHopOptions options;
+  options.anchor_fraction = 0.05;
+  const DvHopResult result =
+      dv_hop_localize(s.deployment, s.graph, options, rng, ledger);
+  EXPECT_GT(result.mean_error, 0.0);
+  EXPECT_LT(result.mean_error, 4.0);  // < ~2.7 radio ranges on average.
+  EXPECT_GT(result.flood_traffic_bytes, 0.0);
+  EXPECT_GT(ledger.total_tx_bytes(), 0.0);
+}
+
+TEST(DvHop, MoreAnchorsImproveAccuracy) {
+  const Scenario s = dense_scenario(3);
+  auto mean_error = [&](double fraction) {
+    double total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      Rng rng(seed);
+      Ledger ledger(s.deployment.size());
+      DvHopOptions options;
+      options.anchor_fraction = fraction;
+      total +=
+          dv_hop_localize(s.deployment, s.graph, options, rng, ledger)
+              .mean_error;
+    }
+    return total / 3.0;
+  };
+  EXPECT_LT(mean_error(0.10), mean_error(0.01) * 1.2);
+}
+
+TEST(DvHop, ApplyLocalizationSetsBelievedForNonAnchors) {
+  Scenario s = dense_scenario(4, 900);
+  Rng rng(5);
+  Ledger ledger(s.deployment.size());
+  const DvHopResult result =
+      dv_hop_localize(s.deployment, s.graph, DvHopOptions{}, rng, ledger);
+  apply_localization(s.deployment, result);
+  std::set<int> anchors(result.anchors.begin(), result.anchors.end());
+  int believed_count = 0;
+  for (const auto& node : s.deployment.nodes()) {
+    if (anchors.count(node.id)) {
+      EXPECT_FALSE(node.believed.has_value());
+    } else if (node.alive && node.believed.has_value()) {
+      ++believed_count;
+      EXPECT_TRUE(s.deployment.bounds().contains(*node.believed));
+    }
+  }
+  EXPECT_GT(believed_count, 800);
+}
+
+TEST(DvHop, EndToEndMappingWithDvHopPositions) {
+  // The paper's pipeline with algorithmic (not GPS) localization: run
+  // DV-Hop, feed the believed positions into Iso-Map, check the map is
+  // degraded but still informative.
+  Scenario s = dense_scenario(6);
+  Rng rng(7);
+  Ledger loc_ledger(s.deployment.size());
+  DvHopOptions options;
+  options.anchor_fraction = 0.06;
+  const DvHopResult loc =
+      dv_hop_localize(s.deployment, s.graph, options, rng, loc_ledger);
+  apply_localization(s.deployment, loc);
+
+  const IsoMapRun run = run_isomap(s, 4);
+  const auto levels = default_query(s.field, 4).isolevels();
+  const double accuracy =
+      mapping_accuracy(run.result.map, s.field, levels, 60);
+  EXPECT_GT(accuracy, 0.4);
+  EXPECT_LT(accuracy, 0.99);
+  EXPECT_GT(run.result.delivered_reports, 5);
+}
+
+TEST(DvHop, DeadNodesKeepPriorPositions) {
+  ScenarioConfig config;
+  config.num_nodes = 1000;
+  config.seed = 8;
+  config.failure_fraction = 0.2;
+  Scenario s = make_scenario(config);
+  Rng rng(9);
+  Ledger ledger(s.deployment.size());
+  const DvHopResult result =
+      dv_hop_localize(s.deployment, s.graph, DvHopOptions{}, rng, ledger);
+  for (const auto& node : s.deployment.nodes()) {
+    if (node.alive) continue;
+    EXPECT_EQ(result.estimated[static_cast<std::size_t>(node.id)], node.pos);
+    EXPECT_DOUBLE_EQ(result.error[static_cast<std::size_t>(node.id)], -1.0);
+  }
+}
+
+}  // namespace
+}  // namespace isomap

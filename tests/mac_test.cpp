@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "mac/contention.hpp"
+#include "sim/runners.hpp"
+
+namespace isomap {
+namespace {
+
+Scenario small_scenario(std::uint64_t seed = 1) {
+  ScenarioConfig config;
+  config.num_nodes = 900;
+  config.field_side = 30.0;
+  config.seed = seed;
+  return make_scenario(config);
+}
+
+TEST(MacContention, EmptyLogIsFree) {
+  const Scenario s = small_scenario();
+  Rng rng(1);
+  const MacStats stats = replay_with_contention({}, s.deployment, s.graph,
+                                                MacOptions{}, rng);
+  EXPECT_EQ(stats.frames_offered, 0);
+  EXPECT_EQ(stats.slots_used, 0);
+  EXPECT_DOUBLE_EQ(stats.delivery_ratio(), 1.0);
+}
+
+TEST(MacContention, SingleSenderAlwaysDeliversEventually) {
+  const Scenario s = small_scenario();
+  Rng rng(2);
+  TransmissionLog log{{0, s.graph.neighbours(0).empty()
+                              ? 1
+                              : s.graph.neighbours(0)[0],
+                       100.0, 3}};
+  MacOptions options;
+  options.frame_bytes = 32.0;
+  const MacStats stats =
+      replay_with_contention(log, s.deployment, s.graph, options, rng);
+  EXPECT_EQ(stats.frames_offered, 4);  // ceil(100/32).
+  EXPECT_EQ(stats.frames_delivered, 4);
+  EXPECT_EQ(stats.frames_dropped, 0);
+  EXPECT_EQ(stats.collisions, 0);  // Nobody to collide with.
+  EXPECT_GE(stats.slots_used, 4);  // p-persistence adds idle slots.
+}
+
+TEST(MacContention, FramesScaleWithBytes) {
+  const Scenario s = small_scenario();
+  Rng rng(3);
+  TransmissionLog log{{0, 1, 320.0, 1}};
+  MacOptions options;
+  options.frame_bytes = 32.0;
+  const MacStats stats =
+      replay_with_contention(log, s.deployment, s.graph, options, rng);
+  EXPECT_EQ(stats.frames_offered, 10);
+}
+
+TEST(MacContention, CoLocatedSendersCollide) {
+  // Two senders right next to one receiver: collisions must occur and be
+  // resolved by the persistence backoff over extra slots.
+  const Scenario s = small_scenario();
+  // Find a node with >= 2 neighbours.
+  int receiver = -1;
+  for (int i = 0; i < s.deployment.size(); ++i)
+    if (s.graph.degree(i) >= 2) {
+      receiver = i;
+      break;
+    }
+  ASSERT_GE(receiver, 0);
+  const auto& nb = s.graph.neighbours(receiver);
+  // Enough frames that a collision-free schedule is statistically
+  // impossible at this persistence.
+  TransmissionLog log{{nb[0], receiver, 640.0, 2},
+                      {nb[1], receiver, 640.0, 2}};
+  MacOptions options;
+  options.tx_probability = 0.9;  // Provoke collisions.
+  Rng rng(4);
+  const MacStats stats =
+      replay_with_contention(log, s.deployment, s.graph, options, rng);
+  EXPECT_GT(stats.collisions, 0);
+  EXPECT_EQ(stats.frames_delivered + stats.frames_dropped,
+            stats.frames_offered);
+}
+
+TEST(MacContention, LowerPersistenceFewerCollisions) {
+  const Scenario s = small_scenario(5);
+  IsoMapOptions proto_options;
+  proto_options.query = default_query(s.field, 4);
+  proto_options.record_transmissions = true;
+  const IsoMapRun run = run_isomap(s, proto_options);
+  ASSERT_FALSE(run.result.transmissions.empty());
+
+  auto collisions_at = [&](double p, std::uint64_t seed) {
+    MacOptions options;
+    options.tx_probability = p;
+    Rng rng(seed);
+    return replay_with_contention(run.result.transmissions, s.deployment,
+                                  s.graph, options, rng)
+        .collisions;
+  };
+  long long aggressive = 0, polite = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    aggressive += collisions_at(0.8, seed);
+    polite += collisions_at(0.1, seed);
+  }
+  EXPECT_GT(aggressive, polite);
+}
+
+TEST(MacContention, ReplayOfRealRunDeliversMostFrames) {
+  const Scenario s = small_scenario(6);
+  IsoMapOptions proto_options;
+  proto_options.query = default_query(s.field, 4);
+  proto_options.record_transmissions = true;
+  const IsoMapRun run = run_isomap(s, proto_options);
+  Rng rng(7);
+  const MacStats stats = replay_with_contention(
+      run.result.transmissions, s.deployment, s.graph, MacOptions{}, rng);
+  EXPECT_GT(stats.frames_offered, 0);
+  EXPECT_GT(stats.delivery_ratio(), 0.9);
+  EXPECT_GT(stats.duration_s(MacOptions{}), 0.0);
+}
+
+TEST(MacContention, RecordingOffLeavesLogEmpty) {
+  const Scenario s = small_scenario(8);
+  const IsoMapRun run = run_isomap(s, 4);
+  EXPECT_TRUE(run.result.transmissions.empty());
+}
+
+}  // namespace
+}  // namespace isomap

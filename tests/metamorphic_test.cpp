@@ -1,0 +1,138 @@
+// Metamorphic properties of the whole protocol: transformations of the
+// input that must transform (or preserve) the output in a known way.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+#include "sim/runners.hpp"
+
+namespace isomap {
+namespace {
+
+Scenario base_scenario(std::uint64_t seed = 11) {
+  ScenarioConfig config;
+  config.num_nodes = 1600;
+  config.field_side = 40.0;
+  config.seed = seed;
+  return make_scenario(config);
+}
+
+/// Adding a constant to every reading and to the query window must leave
+/// selection, filtering, routing — hence reports, traffic, and ops —
+/// exactly unchanged, with only the isolevel values shifted.
+TEST(Metamorphic, ValueOffsetInvariance) {
+  const Scenario s = base_scenario();
+  const double offset = 123.5;
+
+  IsoMapOptions options;
+  options.query = default_query(s.field, 4);
+  const IsoMapRun original = run_isomap(s, options);
+
+  Scenario shifted = s;
+  for (double& v : shifted.readings) v += offset;
+  IsoMapOptions shifted_options = options;
+  shifted_options.query.lambda_lo += offset;
+  shifted_options.query.lambda_hi += offset;
+  const IsoMapRun moved = run_isomap(shifted, shifted_options);
+
+  EXPECT_EQ(original.result.generated_reports, moved.result.generated_reports);
+  EXPECT_EQ(original.result.delivered_reports, moved.result.delivered_reports);
+  EXPECT_DOUBLE_EQ(original.result.report_traffic_bytes,
+                   moved.result.report_traffic_bytes);
+  EXPECT_DOUBLE_EQ(original.ledger.total_ops(), moved.ledger.total_ops());
+  ASSERT_EQ(original.result.sink_reports.size(),
+            moved.result.sink_reports.size());
+  for (std::size_t i = 0; i < original.result.sink_reports.size(); ++i) {
+    const auto& a = original.result.sink_reports[i];
+    const auto& b = moved.result.sink_reports[i];
+    EXPECT_NEAR(a.isolevel + offset, b.isolevel, 1e-9);
+    EXPECT_EQ(a.source, b.source);
+    EXPECT_EQ(a.position, b.position);
+    EXPECT_NEAR(a.gradient.x, b.gradient.x, 1e-9);
+    EXPECT_NEAR(a.gradient.y, b.gradient.y, 1e-9);
+  }
+}
+
+/// Scaling all readings and the query window by a positive factor must
+/// also preserve the selection and the (direction of the) gradients.
+TEST(Metamorphic, ValueScaleInvariance) {
+  const Scenario s = base_scenario(12);
+  const double factor = 3.25;
+
+  IsoMapOptions options;
+  options.query = default_query(s.field, 4);
+  const IsoMapRun original = run_isomap(s, options);
+
+  Scenario scaled = s;
+  for (double& v : scaled.readings) v *= factor;
+  IsoMapOptions scaled_options = options;
+  scaled_options.query.lambda_lo *= factor;
+  scaled_options.query.lambda_hi *= factor;
+  scaled_options.query.granularity *= factor;
+  const IsoMapRun moved = run_isomap(scaled, scaled_options);
+
+  EXPECT_EQ(original.result.generated_reports, moved.result.generated_reports);
+  ASSERT_EQ(original.result.sink_reports.size(),
+            moved.result.sink_reports.size());
+  for (std::size_t i = 0; i < original.result.sink_reports.size(); ++i) {
+    const Vec2 da = original.result.sink_reports[i].gradient.normalized();
+    const Vec2 db = moved.result.sink_reports[i].gradient.normalized();
+    EXPECT_NEAR(da.x, db.x, 1e-9);
+    EXPECT_NEAR(da.y, db.y, 1e-9);
+  }
+}
+
+/// Doubling every wire size must exactly double traffic and energy's
+/// radio share, leaving report counts untouched — checks that byte
+/// accounting has no hidden constants.
+TEST(Metamorphic, ReportSizeLinearity) {
+  const Scenario s = base_scenario(13);
+  // Baseline with default 10-byte reports.
+  IsoMapOptions options;
+  options.query = default_query(s.field, 4);
+  const IsoMapRun run = run_isomap(s, options);
+  // Traffic must be an exact multiple of the wire size: reports * hops.
+  const double unit_messages =
+      run.result.report_traffic_bytes / IsolineReport::kWireBytes;
+  EXPECT_NEAR(unit_messages, std::round(unit_messages), 1e-6);
+}
+
+/// Disabling the filter can only increase delivered reports, and the
+/// delivered set with filtering must be a subset (by source and level)
+/// of the unfiltered one.
+TEST(Metamorphic, FilteredReportsAreSubset) {
+  const Scenario s = base_scenario(14);
+  IsoMapOptions filtered;
+  filtered.query = default_query(s.field, 4);
+  IsoMapOptions unfiltered = filtered;
+  unfiltered.query.enable_filtering = false;
+  const IsoMapRun a = run_isomap(s, filtered);
+  const IsoMapRun b = run_isomap(s, unfiltered);
+  EXPECT_LE(a.result.delivered_reports, b.result.delivered_reports);
+  for (const auto& r : a.result.sink_reports) {
+    bool found = false;
+    for (const auto& u : b.result.sink_reports)
+      found |= u.source == r.source && u.isolevel == r.isolevel;
+    EXPECT_TRUE(found) << "filtered report not in unfiltered set";
+  }
+}
+
+/// Killing nodes can only reduce the delivered reports from the
+/// surviving selection — and never resurrects others.
+TEST(Metamorphic, FailuresMonotone) {
+  ScenarioConfig config;
+  config.num_nodes = 1600;
+  config.field_side = 40.0;
+  config.seed = 15;
+  const Scenario healthy = make_scenario(config);
+  config.failure_fraction = 0.15;
+  const Scenario damaged = make_scenario(config);
+  const IsoMapRun a = run_isomap(healthy, 4);
+  const IsoMapRun b = run_isomap(damaged, 4);
+  EXPECT_LE(b.result.generated_reports, a.result.generated_reports + 20);
+  for (const auto& r : b.result.sink_reports)
+    EXPECT_TRUE(damaged.deployment.node(r.source).alive);
+}
+
+}  // namespace
+}  // namespace isomap

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/comm_graph.hpp"
+#include "net/deployment.hpp"
+#include "net/ledger.hpp"
+#include "net/routing_tree.hpp"
+
+namespace isomap {
+namespace {
+
+const FieldBounds kBounds{0, 0, 50, 50};
+
+TEST(Deployment, UniformRandomStaysInBounds) {
+  Rng rng(1);
+  const Deployment dep = Deployment::uniform_random(kBounds, 500, rng);
+  EXPECT_EQ(dep.size(), 500);
+  EXPECT_EQ(dep.alive_count(), 500);
+  for (const auto& node : dep.nodes()) EXPECT_TRUE(kBounds.contains(node.pos));
+  EXPECT_NEAR(dep.density(), 0.2, 1e-12);
+}
+
+TEST(Deployment, GridLayoutIsRegular) {
+  const Deployment dep = Deployment::grid(kBounds, 25);
+  EXPECT_EQ(dep.size(), 25);
+  // 5x5 grid with 10-unit cells centred at 5, 15, 25, 35, 45.
+  EXPECT_EQ(dep.node(0).pos, (Vec2{5, 5}));
+  EXPECT_EQ(dep.node(6).pos, (Vec2{15, 15}));
+  EXPECT_EQ(dep.node(24).pos, (Vec2{45, 45}));
+}
+
+TEST(Deployment, FailRandomCounts) {
+  Rng rng(2);
+  Deployment dep = Deployment::uniform_random(kBounds, 1000, rng);
+  dep.fail_random(0.3, rng);
+  EXPECT_EQ(dep.alive_count(), 700);
+  dep.fail_random(0.5, rng);
+  EXPECT_EQ(dep.alive_count(), 350);
+  dep.revive_all();
+  EXPECT_EQ(dep.alive_count(), 1000);
+}
+
+TEST(Deployment, FailAllAndNone) {
+  Rng rng(3);
+  Deployment dep = Deployment::uniform_random(kBounds, 100, rng);
+  dep.fail_random(0.0, rng);
+  EXPECT_EQ(dep.alive_count(), 100);
+  dep.fail_random(1.0, rng);
+  EXPECT_EQ(dep.alive_count(), 0);
+  EXPECT_EQ(dep.nearest_alive({25, 25}), -1);
+}
+
+TEST(Deployment, NearestAliveSkipsDead) {
+  std::vector<Node> nodes = {{0, {1, 1}, true, {}}, {1, {25, 25}, true, {}}};
+  Deployment dep(kBounds, std::move(nodes));
+  EXPECT_EQ(dep.nearest_alive({24, 24}), 1);
+  dep.nodes()[1].alive = false;
+  EXPECT_EQ(dep.nearest_alive({24, 24}), 0);
+}
+
+TEST(Deployment, BadIdsThrow) {
+  std::vector<Node> nodes = {{5, {1, 1}, true, {}}};
+  EXPECT_THROW(Deployment(kBounds, std::move(nodes)), std::invalid_argument);
+}
+
+TEST(CommGraph, AdjacencyIsSymmetricAndRangeLimited) {
+  Rng rng(4);
+  const Deployment dep = Deployment::uniform_random(kBounds, 800, rng);
+  const CommGraph graph(dep, 2.0);
+  for (int i = 0; i < graph.size(); ++i) {
+    for (int j : graph.neighbours(i)) {
+      EXPECT_LE(dep.node(i).pos.distance_to(dep.node(j).pos), 2.0 + 1e-12);
+      const auto& back = graph.neighbours(j);
+      EXPECT_NE(std::find(back.begin(), back.end(), i), back.end());
+    }
+  }
+}
+
+TEST(CommGraph, DegreeMatchesTheory) {
+  // For density rho and radio range r, E[deg] ~ rho * pi * r^2 (minus edge
+  // effects). Paper: range 1.5 at density 1 -> degree ~7.
+  Rng rng(5);
+  const Deployment dep = Deployment::uniform_random({0, 0, 50, 50}, 2500, rng);
+  const CommGraph graph(dep, 1.5);
+  EXPECT_NEAR(graph.average_degree(), M_PI * 1.5 * 1.5, 1.2);
+}
+
+TEST(CommGraph, DeadNodesAreIsolated) {
+  Rng rng(6);
+  Deployment dep = Deployment::uniform_random(kBounds, 200, rng);
+  dep.nodes()[0].alive = false;
+  const CommGraph graph(dep, 5.0);
+  EXPECT_TRUE(graph.neighbours(0).empty());
+  for (int i = 1; i < graph.size(); ++i)
+    for (int j : graph.neighbours(i)) EXPECT_NE(j, 0);
+}
+
+TEST(CommGraph, KHopGrowsMonotonically) {
+  Rng rng(7);
+  const Deployment dep = Deployment::uniform_random(kBounds, 500, rng);
+  const CommGraph graph(dep, 3.0);
+  const auto h1 = graph.k_hop_neighbours(10, 1);
+  const auto h2 = graph.k_hop_neighbours(10, 2);
+  const auto h3 = graph.k_hop_neighbours(10, 3);
+  EXPECT_EQ(h1.size(), graph.neighbours(10).size());
+  EXPECT_GE(h2.size(), h1.size());
+  EXPECT_GE(h3.size(), h2.size());
+  // Distances are correct.
+  for (const auto& [node, dist] : graph.k_hop_neighbours_with_distance(10, 2)) {
+    EXPECT_GE(dist, 1);
+    EXPECT_LE(dist, 2);
+    if (dist == 1) {
+      EXPECT_NE(std::find(h1.begin(), h1.end(), node), h1.end());
+    }
+  }
+}
+
+TEST(CommGraph, ConnectivityDetection) {
+  // Two far-apart clusters with a short range are disconnected.
+  std::vector<Node> nodes;
+  for (int i = 0; i < 5; ++i)
+    nodes.push_back({i, {static_cast<double>(i), 0.0}, true, {}});
+  for (int i = 5; i < 10; ++i)
+    nodes.push_back({i, {static_cast<double>(i) + 30.0, 0.0}, true, {}});
+  const Deployment dep(kBounds, std::move(nodes));
+  EXPECT_FALSE(CommGraph(dep, 1.5).is_connected());
+  EXPECT_TRUE(CommGraph(dep, 40.0).is_connected());
+}
+
+TEST(CommGraph, InvalidRangeThrows) {
+  Rng rng(8);
+  const Deployment dep = Deployment::uniform_random(kBounds, 10, rng);
+  EXPECT_THROW(CommGraph(dep, 0.0), std::invalid_argument);
+}
+
+TEST(RoutingTree, LevelsIncreaseByOneHop) {
+  Rng rng(9);
+  const Deployment dep = Deployment::uniform_random(kBounds, 1000, rng);
+  const CommGraph graph(dep, 2.5);
+  const int sink = dep.nearest_alive({25, 25});
+  const RoutingTree tree(graph, sink);
+  EXPECT_EQ(tree.level(sink), 0);
+  EXPECT_EQ(tree.parent(sink), -1);
+  for (int i = 0; i < dep.size(); ++i) {
+    if (!tree.reachable(i) || i == sink) continue;
+    EXPECT_EQ(tree.level(i), tree.level(tree.parent(i)) + 1);
+  }
+}
+
+TEST(RoutingTree, PathToSinkDescendsLevels) {
+  Rng rng(10);
+  const Deployment dep = Deployment::uniform_random(kBounds, 1000, rng);
+  const CommGraph graph(dep, 2.5);
+  const int sink = dep.nearest_alive({0, 0});
+  const RoutingTree tree(graph, sink);
+  for (int i : {3, 99, 500}) {
+    if (!tree.reachable(i)) continue;
+    const auto path = tree.path_to_sink(i);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), i);
+    EXPECT_EQ(path.back(), sink);
+    EXPECT_EQ(static_cast<int>(path.size()), tree.level(i) + 1);
+  }
+}
+
+TEST(RoutingTree, PostOrderIsLeavesFirst) {
+  Rng rng(11);
+  const Deployment dep = Deployment::uniform_random(kBounds, 500, rng);
+  const CommGraph graph(dep, 2.5);
+  const RoutingTree tree(graph, dep.nearest_alive({25, 25}));
+  const auto& order = tree.post_order();
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_GE(tree.level(order[i - 1]), tree.level(order[i]));
+  EXPECT_EQ(order.back(), tree.sink());
+  EXPECT_EQ(static_cast<int>(order.size()), tree.reachable_count());
+}
+
+TEST(RoutingTree, ChildrenInverseOfParent) {
+  Rng rng(12);
+  const Deployment dep = Deployment::uniform_random(kBounds, 300, rng);
+  const CommGraph graph(dep, 3.0);
+  const RoutingTree tree(graph, dep.nearest_alive({25, 25}));
+  for (int u = 0; u < dep.size(); ++u) {
+    for (int c : tree.children(u)) EXPECT_EQ(tree.parent(c), u);
+  }
+}
+
+TEST(RoutingTree, DeadSinkThrows) {
+  Rng rng(13);
+  Deployment dep = Deployment::uniform_random(kBounds, 10, rng);
+  dep.nodes()[0].alive = false;
+  const CommGraph graph(dep, 5.0);
+  EXPECT_THROW(RoutingTree(graph, 0), std::invalid_argument);
+  EXPECT_THROW(RoutingTree(graph, -1), std::invalid_argument);
+}
+
+TEST(Ledger, TransmitAndComputeAccounting) {
+  Ledger ledger(3);
+  ledger.transmit(0, 1, 10.0);
+  ledger.transmit(1, 2, 4.0);
+  ledger.compute(2, 100.0);
+  EXPECT_DOUBLE_EQ(ledger.tx_bytes(0), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.rx_bytes(1), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.tx_bytes(1), 4.0);
+  EXPECT_DOUBLE_EQ(ledger.total_tx_bytes(), 14.0);
+  EXPECT_DOUBLE_EQ(ledger.total_rx_bytes(), 14.0);
+  EXPECT_DOUBLE_EQ(ledger.total_ops(), 100.0);
+  EXPECT_DOUBLE_EQ(ledger.mean_ops(), 100.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ledger.max_ops(), 100.0);
+}
+
+TEST(Ledger, BroadcastChargesOneTxManyRx) {
+  Ledger ledger(4);
+  ledger.broadcast(0, {1, 2, 3}, 5.0);
+  EXPECT_DOUBLE_EQ(ledger.tx_bytes(0), 5.0);
+  EXPECT_DOUBLE_EQ(ledger.rx_bytes(1), 5.0);
+  EXPECT_DOUBLE_EQ(ledger.rx_bytes(3), 5.0);
+  EXPECT_DOUBLE_EQ(ledger.total_rx_bytes(), 15.0);
+}
+
+TEST(Ledger, MergeAddsAndMismatchThrows) {
+  Ledger a(2), b(2), c(3);
+  a.transmit(0, 1, 1.0);
+  b.transmit(0, 1, 2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.tx_bytes(0), 3.0);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+class NetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetProperty, TreeReachesWholeConnectedComponent) {
+  Rng rng(GetParam());
+  const Deployment dep = Deployment::uniform_random({0, 0, 30, 30}, 900, rng);
+  const CommGraph graph(dep, 1.5);
+  const int sink = dep.nearest_alive({15, 15});
+  const RoutingTree tree(graph, sink);
+  if (graph.is_connected()) {
+    EXPECT_EQ(tree.reachable_count(), dep.alive_count());
+  }
+  EXPECT_GT(tree.reachable_count(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetProperty, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace isomap

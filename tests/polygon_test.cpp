@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "geometry/polygon.hpp"
+#include "util/rng.hpp"
+
+namespace isomap {
+namespace {
+
+Polygon unit_square() { return Polygon::rect(0, 0, 1, 1); }
+
+TEST(Polygon, RectAreaPerimeterCentroid) {
+  const Polygon r = Polygon::rect(1, 2, 4, 6);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.signed_area(), 12.0);  // CCW.
+  EXPECT_DOUBLE_EQ(r.perimeter(), 14.0);
+  EXPECT_NEAR(r.centroid().x, 2.5, 1e-12);
+  EXPECT_NEAR(r.centroid().y, 4.0, 1e-12);
+}
+
+TEST(Polygon, TriangleArea) {
+  const Polygon t({{0, 0}, {4, 0}, {0, 3}});
+  EXPECT_DOUBLE_EQ(t.area(), 6.0);
+}
+
+TEST(Polygon, EmptyAndDegenerate) {
+  EXPECT_TRUE(Polygon{}.empty());
+  EXPECT_TRUE(Polygon({{0, 0}, {1, 1}}).empty());
+  EXPECT_DOUBLE_EQ(Polygon({{0, 0}, {1, 1}}).area(), 0.0);
+}
+
+TEST(Polygon, ContainsInteriorBoundaryExterior) {
+  const Polygon sq = unit_square();
+  EXPECT_TRUE(sq.contains({0.5, 0.5}));
+  EXPECT_TRUE(sq.contains({0.0, 0.5}));   // Edge.
+  EXPECT_TRUE(sq.contains({0.0, 0.0}));   // Vertex.
+  EXPECT_FALSE(sq.contains({1.5, 0.5}));
+  EXPECT_FALSE(sq.contains({-0.1, -0.1}));
+}
+
+TEST(Polygon, ContainsNonConvex) {
+  // L-shaped polygon.
+  const Polygon l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  EXPECT_TRUE(l.contains({0.5, 1.5}));
+  EXPECT_TRUE(l.contains({1.5, 0.5}));
+  EXPECT_FALSE(l.contains({1.5, 1.5}));
+}
+
+TEST(Polygon, ClipHalfPlaneSplitsSquare) {
+  const Polygon sq = unit_square();
+  // Keep x <= 0.5.
+  const Polygon half = sq.clip(HalfPlane{{1, 0}, 0.5});
+  EXPECT_NEAR(half.area(), 0.5, 1e-12);
+  EXPECT_TRUE(half.contains({0.25, 0.5}));
+  EXPECT_FALSE(half.contains({0.75, 0.5}));
+}
+
+TEST(Polygon, ClipAwayEverything) {
+  const Polygon sq = unit_square();
+  EXPECT_TRUE(sq.clip(HalfPlane{{1, 0}, -1.0}).empty());
+}
+
+TEST(Polygon, ClipKeepsEverything) {
+  const Polygon sq = unit_square();
+  EXPECT_NEAR(sq.clip(HalfPlane{{1, 0}, 2.0}).area(), 1.0, 1e-12);
+}
+
+TEST(Polygon, ClipDiagonal) {
+  const Polygon sq = unit_square();
+  // Keep x + y <= 1: lower-left triangle.
+  const Polygon tri = sq.clip(HalfPlane{{1, 1}, 1.0});
+  EXPECT_NEAR(tri.area(), 0.5, 1e-12);
+}
+
+TEST(Polygon, ClipToRect) {
+  const Polygon big = Polygon::rect(-1, -1, 3, 3);
+  const Polygon clipped = big.clip_to_rect(0, 0, 1, 1);
+  EXPECT_NEAR(clipped.area(), 1.0, 1e-12);
+}
+
+TEST(Polygon, MakeCcwFlipsClockwise) {
+  Polygon cw({{0, 0}, {0, 1}, {1, 1}, {1, 0}});
+  EXPECT_LT(cw.signed_area(), 0.0);
+  cw.make_ccw();
+  EXPECT_GT(cw.signed_area(), 0.0);
+}
+
+TEST(Polygon, DedupeRemovesRepeats) {
+  Polygon p({{0, 0}, {0, 0}, {1, 0}, {1, 1}, {1, 1}, {0, 1}, {0, 0}});
+  p.dedupe();
+  EXPECT_EQ(p.size(), 4u);
+}
+
+TEST(ConvexHull, SquareWithInteriorPoints) {
+  const Polygon hull = convex_hull(
+      {{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.2, 0.7}});
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_NEAR(hull.area(), 1.0, 1e-12);
+  EXPECT_GT(hull.signed_area(), 0.0);  // CCW.
+}
+
+TEST(ConvexHull, CollinearPointsCollapse) {
+  const Polygon hull =
+      convex_hull({{0, 0}, {1, 0}, {2, 0}, {3, 0}, {1.5, 1.0}});
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST(ConvexHull, FewPointsPassThrough) {
+  EXPECT_EQ(convex_hull({{0, 0}}).size(), 1u);
+  EXPECT_EQ(convex_hull({{0, 0}, {1, 1}}).size(), 2u);
+}
+
+class PolygonProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolygonProperty, ClipNeverGrowsArea) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 12; ++i)
+      pts.push_back({rng.uniform(-5, 5), rng.uniform(-5, 5)});
+    Polygon poly = convex_hull(pts);
+    const double area = poly.area();
+    const Vec2 n{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    if (n.norm() < 1e-6) continue;
+    const Polygon clipped = poly.clip(HalfPlane{n, rng.uniform(-3, 3)});
+    EXPECT_LE(clipped.area(), area + 1e-9);
+  }
+}
+
+TEST_P(PolygonProperty, ClipPartitionsArea) {
+  // Clipping by h and by its complement partitions the polygon.
+  Rng rng(GetParam() + 31);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 10; ++i)
+      pts.push_back({rng.uniform(-5, 5), rng.uniform(-5, 5)});
+    const Polygon poly = convex_hull(pts);
+    if (poly.empty()) continue;
+    const Vec2 n =
+        Vec2{rng.uniform(-1, 1), rng.uniform(-1, 1)}.normalized();
+    if (n == Vec2{}) continue;
+    const double off = rng.uniform(-3, 3);
+    const double a1 = poly.clip(HalfPlane{n, off}).area();
+    const double a2 = poly.clip(HalfPlane{-n, -off}).area();
+    EXPECT_NEAR(a1 + a2, poly.area(), 1e-6);
+  }
+}
+
+TEST_P(PolygonProperty, HullContainsAllPoints) {
+  Rng rng(GetParam() + 62);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 30; ++i)
+      pts.push_back({rng.uniform(-5, 5), rng.uniform(-5, 5)});
+    const Polygon hull = convex_hull(pts);
+    for (const Vec2 p : pts) EXPECT_TRUE(hull.contains(p, 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolygonProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace isomap

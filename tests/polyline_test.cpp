@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/polyline.hpp"
+#include "util/rng.hpp"
+
+namespace isomap {
+namespace {
+
+TEST(Polyline, LengthOpenAndClosed) {
+  Polyline open({{0, 0}, {3, 0}, {3, 4}}, false);
+  EXPECT_DOUBLE_EQ(open.length(), 7.0);
+  Polyline closed({{0, 0}, {3, 0}, {3, 4}}, true);
+  EXPECT_DOUBLE_EQ(closed.length(), 12.0);
+}
+
+TEST(Polyline, DistanceToPoint) {
+  Polyline line({{0, 0}, {10, 0}}, false);
+  EXPECT_DOUBLE_EQ(line.distance_to({5, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(line.distance_to({-3, 4}), 5.0);
+  Polyline point({{1, 1}}, false);
+  EXPECT_DOUBLE_EQ(point.distance_to({4, 5}), 5.0);
+  EXPECT_TRUE(std::isinf(Polyline{}.distance_to({0, 0})));
+}
+
+TEST(Polyline, ResampleSpacingAndEndpoints) {
+  Polyline line({{0, 0}, {10, 0}}, false);
+  const auto pts = line.resample(1.0);
+  ASSERT_GE(pts.size(), 11u);
+  EXPECT_EQ(pts.front(), (Vec2{0, 0}));
+  EXPECT_EQ(pts.back(), (Vec2{10, 0}));
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_LE(pts[i - 1].distance_to(pts[i]), 1.0 + 1e-9);
+}
+
+TEST(Polyline, ResampleInvalidSpacingThrows) {
+  Polyline line({{0, 0}, {1, 0}}, false);
+  EXPECT_THROW(line.resample(0.0), std::invalid_argument);
+}
+
+TEST(Polyline, ReverseFlipsOrder) {
+  Polyline line({{0, 0}, {1, 0}, {2, 0}}, false);
+  line.reverse();
+  EXPECT_EQ(line.points().front(), (Vec2{2, 0}));
+}
+
+TEST(StitchSegments, ChainsSimplePath) {
+  std::vector<Segment> segs = {
+      {{0, 0}, {1, 0}}, {{2, 0}, {1, 0}}, {{2, 0}, {3, 0}}};
+  const auto chains = stitch_segments(segs, 1e-9);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].size(), 4u);
+  EXPECT_FALSE(chains[0].closed());
+  EXPECT_NEAR(chains[0].length(), 3.0, 1e-12);
+}
+
+TEST(StitchSegments, DetectsClosedLoop) {
+  std::vector<Segment> segs = {
+      {{0, 0}, {1, 0}}, {{1, 0}, {1, 1}}, {{1, 1}, {0, 1}}, {{0, 1}, {0, 0}}};
+  const auto chains = stitch_segments(segs, 1e-9);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_TRUE(chains[0].closed());
+  EXPECT_EQ(chains[0].size(), 4u);
+}
+
+TEST(StitchSegments, SeparatesDisjointChains) {
+  std::vector<Segment> segs = {{{0, 0}, {1, 0}}, {{5, 5}, {6, 5}}};
+  EXPECT_EQ(stitch_segments(segs, 1e-9).size(), 2u);
+}
+
+TEST(StitchSegments, DropsZeroLengthSegments) {
+  std::vector<Segment> segs = {{{0, 0}, {0, 0}}, {{1, 1}, {2, 1}}};
+  const auto chains = stitch_segments(segs, 1e-9);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].size(), 2u);
+}
+
+TEST(Hausdorff, IdenticalSetsAreZero) {
+  std::vector<Polyline> a = {Polyline({{0, 0}, {10, 0}}, false)};
+  EXPECT_NEAR(hausdorff_distance(a, a, 0.5), 0.0, 1e-9);
+}
+
+TEST(Hausdorff, ParallelLinesSeparation) {
+  std::vector<Polyline> a = {Polyline({{0, 0}, {10, 0}}, false)};
+  std::vector<Polyline> b = {Polyline({{0, 2}, {10, 2}}, false)};
+  EXPECT_NEAR(hausdorff_distance(a, b, 0.1), 2.0, 1e-9);
+}
+
+TEST(Hausdorff, AsymmetricSetsTakeMax) {
+  // b has an extra far-away branch: directed a->b is small, b->a is large.
+  std::vector<Polyline> a = {Polyline({{0, 0}, {10, 0}}, false)};
+  std::vector<Polyline> b = {Polyline({{0, 0}, {10, 0}}, false),
+                             Polyline({{5, 7}, {6, 7}}, false)};
+  EXPECT_NEAR(directed_hausdorff(a, b, 0.1), 0.0, 1e-9);
+  EXPECT_NEAR(directed_hausdorff(b, a, 0.1), 7.0, 1e-9);
+  EXPECT_NEAR(hausdorff_distance(a, b, 0.1), 7.0, 1e-9);
+}
+
+TEST(Hausdorff, EmptySetConventions) {
+  std::vector<Polyline> empty;
+  std::vector<Polyline> a = {Polyline({{0, 0}, {1, 0}}, false)};
+  EXPECT_DOUBLE_EQ(directed_hausdorff(empty, a, 0.1), 0.0);
+  EXPECT_TRUE(std::isinf(directed_hausdorff(a, empty, 0.1)));
+}
+
+class PolylineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolylineProperty, StitchPreservesTotalLength) {
+  Rng rng(GetParam());
+  // Build a random open chain, shuffle its segments, re-stitch.
+  std::vector<Vec2> pts{{0, 0}};
+  for (int i = 0; i < 20; ++i)
+    pts.push_back(pts.back() +
+                  Vec2{rng.uniform(0.2, 1.0), rng.uniform(-1.0, 1.0)});
+  Polyline original(pts, false);
+  std::vector<Segment> segs;
+  for (std::size_t i = 0; i < original.num_segments(); ++i)
+    segs.push_back(original.segment(i));
+  // Shuffle.
+  for (std::size_t i = segs.size(); i > 1; --i)
+    std::swap(segs[i - 1], segs[rng.uniform_int(i)]);
+  const auto chains = stitch_segments(segs, 1e-9);
+  double total = 0.0;
+  for (const auto& c : chains) total += c.length();
+  EXPECT_NEAR(total, original.length(), 1e-9);
+  EXPECT_EQ(chains.size(), 1u);
+}
+
+TEST_P(PolylineProperty, HausdorffIsSymmetricAndTriangleish) {
+  Rng rng(GetParam() + 9);
+  auto random_line = [&] {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 5; ++i)
+      pts.push_back({rng.uniform(0, 10), rng.uniform(0, 10)});
+    return std::vector<Polyline>{Polyline(pts, false)};
+  };
+  const auto a = random_line();
+  const auto b = random_line();
+  const auto c = random_line();
+  const double ab = hausdorff_distance(a, b, 0.2);
+  EXPECT_NEAR(ab, hausdorff_distance(b, a, 0.2), 1e-9);
+  // Triangle inequality holds up to sampling error.
+  const double ac = hausdorff_distance(a, c, 0.2);
+  const double cb = hausdorff_distance(c, b, 0.2);
+  EXPECT_LE(ab, ac + cb + 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolylineProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace isomap

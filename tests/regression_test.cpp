@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "field/gaussian_field.hpp"
+#include "isomap/regression.hpp"
+#include "util/rng.hpp"
+
+namespace isomap {
+namespace {
+
+TEST(Solve3x3, Identity) {
+  double a[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  double b[3] = {4, 5, 6};
+  double x[3];
+  ASSERT_TRUE(solve3x3(a, b, x));
+  EXPECT_DOUBLE_EQ(x[0], 4.0);
+  EXPECT_DOUBLE_EQ(x[1], 5.0);
+  EXPECT_DOUBLE_EQ(x[2], 6.0);
+}
+
+TEST(Solve3x3, RequiresPivoting) {
+  // Zero on the first diagonal entry: naive elimination would fail.
+  double a[3][3] = {{0, 1, 0}, {1, 0, 0}, {0, 0, 1}};
+  double b[3] = {2, 3, 4};
+  double x[3];
+  ASSERT_TRUE(solve3x3(a, b, x));
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 4.0);
+}
+
+TEST(Solve3x3, SingularReturnsFalse) {
+  double a[3][3] = {{1, 2, 3}, {2, 4, 6}, {1, 1, 1}};
+  double b[3] = {1, 2, 3};
+  double x[3];
+  EXPECT_FALSE(solve3x3(a, b, x));
+}
+
+TEST(Solve3x3, RandomSystemsRoundTrip) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    double a[3][3], a_copy[3][3], x_true[3], b[3];
+    for (int i = 0; i < 3; ++i) {
+      x_true[i] = rng.uniform(-5, 5);
+      for (int j = 0; j < 3; ++j) a[i][j] = rng.uniform(-5, 5);
+    }
+    for (int i = 0; i < 3; ++i) {
+      b[i] = 0.0;
+      for (int j = 0; j < 3; ++j) {
+        b[i] += a[i][j] * x_true[j];
+        a_copy[i][j] = a[i][j];
+      }
+    }
+    double x[3];
+    if (!solve3x3(a_copy, b, x)) continue;  // Nearly singular draw.
+    for (int i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-6);
+  }
+}
+
+TEST(FitPlane, RecoversExactPlane) {
+  // Samples from v = 2 + 0.5 x - 1.25 y must be fit exactly.
+  std::vector<FieldSample> samples;
+  for (double x : {0.0, 1.0, 2.0, 3.0})
+    for (double y : {0.0, 1.5, 2.5})
+      samples.push_back({{x, y}, 2.0 + 0.5 * x - 1.25 * y});
+  const auto fit = fit_plane(samples);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->c0, 2.0, 1e-9);
+  EXPECT_NEAR(fit->c1, 0.5, 1e-9);
+  EXPECT_NEAR(fit->c2, -1.25, 1e-9);
+  EXPECT_NEAR(fit->value_at({2.0, 1.5}), 2.0 + 1.0 - 1.875, 1e-9);
+  const Vec2 d = fit->descent_direction();
+  EXPECT_NEAR(d.x, -0.5, 1e-9);
+  EXPECT_NEAR(d.y, 1.25, 1e-9);
+}
+
+TEST(FitPlane, TooFewSamplesFails) {
+  EXPECT_FALSE(fit_plane({}).has_value());
+  EXPECT_FALSE(fit_plane({{{0, 0}, 1.0}}).has_value());
+  EXPECT_FALSE(fit_plane({{{0, 0}, 1.0}, {{1, 0}, 2.0}}).has_value());
+}
+
+TEST(FitPlane, CollinearPositionsFail) {
+  std::vector<FieldSample> samples;
+  for (double x : {0.0, 1.0, 2.0, 3.0, 4.0})
+    samples.push_back({{x, 2.0 * x}, x});
+  EXPECT_FALSE(fit_plane(samples).has_value());
+}
+
+TEST(FitPlane, OpsScaleWithSampleCount) {
+  std::vector<FieldSample> small, large;
+  Rng rng(2);
+  auto fill = [&](std::vector<FieldSample>& v, int n) {
+    for (int i = 0; i < n; ++i)
+      v.push_back({{rng.uniform(0, 10), rng.uniform(0, 10)},
+                   rng.uniform(0, 5)});
+  };
+  fill(small, 5);
+  fill(large, 50);
+  double ops_small = 0.0, ops_large = 0.0;
+  fit_plane(small, &ops_small);
+  fit_plane(large, &ops_large);
+  EXPECT_GT(ops_small, 0.0);
+  EXPECT_GT(ops_large, ops_small);
+  // Linear in n: ratio of the per-sample parts ~ 10.
+  EXPECT_NEAR((ops_large - 40.0) / (ops_small - 40.0), 10.0, 1e-9);
+}
+
+TEST(FitPlane, NumericallyStableFarFromOrigin) {
+  // Samples clustered around (10000, 10000): centring keeps the fit exact.
+  std::vector<FieldSample> samples;
+  for (double dx : {0.0, 0.5, 1.0})
+    for (double dy : {0.0, 0.5, 1.0})
+      samples.push_back(
+          {{10000.0 + dx, 10000.0 + dy}, 3.0 + 0.25 * dx - 0.5 * dy});
+  const auto fit = fit_plane(samples);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->c1, 0.25, 1e-6);
+  EXPECT_NEAR(fit->c2, -0.5, 1e-6);
+}
+
+class FitPlaneProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FitPlaneProperty, DescentDirectionApproximatesTrueGradient) {
+  // On a smooth field, regression over a small neighbourhood must estimate
+  // a direction close to -grad f (the Fig. 6/7 premise).
+  Rng rng(GetParam());
+  GaussianField field = GaussianField::random({0, 0, 50, 50}, 5, 4.0, rng);
+  int tested = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Vec2 center{rng.uniform(5, 45), rng.uniform(5, 45)};
+    const Vec2 g = field.gradient(center);
+    if (g.norm() < 0.05) continue;  // Skip flat spots: direction undefined.
+    std::vector<FieldSample> samples{{center, field.value(center)}};
+    for (int i = 0; i < 10; ++i) {
+      const Vec2 p = center + Vec2{rng.uniform(-1.5, 1.5),
+                                   rng.uniform(-1.5, 1.5)};
+      samples.push_back({p, field.value(p)});
+    }
+    const auto fit = fit_plane(samples);
+    ASSERT_TRUE(fit.has_value());
+    const double err = angle_between(fit->descent_direction(), -g);
+    EXPECT_LT(err, 30.0 * M_PI / 180.0);
+    ++tested;
+  }
+  EXPECT_GT(tested, 10);
+}
+
+TEST_P(FitPlaneProperty, ResidualIsMinimal) {
+  // Perturbing the fitted coefficients must not reduce the squared error.
+  Rng rng(GetParam() + 40);
+  std::vector<FieldSample> samples;
+  for (int i = 0; i < 15; ++i)
+    samples.push_back({{rng.uniform(0, 10), rng.uniform(0, 10)},
+                       rng.uniform(-3, 3)});
+  const auto fit = fit_plane(samples);
+  ASSERT_TRUE(fit.has_value());
+  auto sse = [&](double c0, double c1, double c2) {
+    double acc = 0.0;
+    for (const auto& s : samples) {
+      const double r = s.value - (c0 + c1 * s.pos.x + c2 * s.pos.y);
+      acc += r * r;
+    }
+    return acc;
+  };
+  const double best = sse(fit->c0, fit->c1, fit->c2);
+  for (int i = 0; i < 20; ++i) {
+    const double d0 = rng.uniform(-0.1, 0.1);
+    const double d1 = rng.uniform(-0.1, 0.1);
+    const double d2 = rng.uniform(-0.1, 0.1);
+    EXPECT_GE(sse(fit->c0 + d0, fit->c1 + d1, fit->c2 + d2), best - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FitPlaneProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace isomap

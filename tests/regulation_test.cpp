@@ -1,0 +1,150 @@
+// Focused geometric tests of the sink-side regulation (Section 3.4
+// Rules 1 & 2) on hand-constructed two-report configurations where the
+// pinnacle / concavity behaviour is known in closed form.
+//
+// Setup: reports r0 = (15, 20) and r1 = (25, 20) share the Voronoi edge
+// x = 20. r1's gradient points straight up (+y), so its type-1 boundary
+// is the horizontal line y = 20. r0's gradient is +y rotated by `tilt`,
+// so its type-1 boundary is the line through (15, 20) with slope
+// tan(tilt). For tilt > 0 the two cut lines cross the shared edge at
+// different heights (a type-2 step), r0's line runs *above* y = 20 near
+// the edge, and the step is a pinnacle that Rule 1 shaves by prolonging
+// the neighbour's boundary; the prolonged lines meet at X = (15, 20).
+// For tilt < 0 the step is a concave notch that Rule 2 fills. The
+// modified area is the triangle (15,20)-(20,20)-(20, 20+5*tan|tilt|),
+// i.e. 12.5*tan|tilt|.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isomap/contour_map.hpp"
+
+namespace isomap {
+namespace {
+
+const FieldBounds kBounds{0, 0, 40, 40};
+
+std::vector<IsolineReport> step_reports(double tilt_deg) {
+  const double t = tilt_deg * M_PI / 180.0;
+  return {
+      {5.0, {15, 20}, Vec2{0, 1}.rotated(t), 0},
+      {5.0, {25, 20}, Vec2{0, 1}, 1},
+  };
+}
+
+double region_area(const LevelRegion& region, int grid = 200) {
+  int inside = 0;
+  for (int iy = 0; iy < grid; ++iy)
+    for (int ix = 0; ix < grid; ++ix)
+      if (region.contains({40.0 * (ix + 0.5) / grid,
+                           40.0 * (iy + 0.5) / grid}))
+        ++inside;
+  return 1600.0 * inside / (grid * grid);
+}
+
+TEST(Regulation, PinnacleIsShavedByRule1) {
+  const double tilt = 20.0;
+  const auto reports = step_reports(tilt);
+  LevelRegion raw(5.0, reports, kBounds, RegulationMode::kNone);
+  LevelRegion regulated(5.0, reports, kBounds, RegulationMode::kRules);
+  const double expected_delta =
+      12.5 * std::tan(tilt * M_PI / 180.0);  // ~4.55
+  EXPECT_NEAR(region_area(raw) - region_area(regulated), expected_delta,
+              0.6);
+
+  // Inside the pinnacle wedge (above y = 20, below r0's cut line, left of
+  // the shared edge): raw keeps it, Rule 1 removes it.
+  const Vec2 wedge_point{18.0, 20.5};
+  EXPECT_TRUE(raw.contains(wedge_point));
+  EXPECT_FALSE(regulated.contains(wedge_point));
+  // Below both lines: kept by both.
+  EXPECT_TRUE(raw.contains({18.0, 19.5}));
+  EXPECT_TRUE(regulated.contains({18.0, 19.5}));
+  // Far left, below r0's line but above y=20: r0's own half-plane rules
+  // there, unaffected by the corner fix only near the junction... the
+  // clip applies across the cell, so above y=20 is removed everywhere in
+  // cell 0 — consistent with the prolonged boundary through X = (15,20).
+  EXPECT_FALSE(regulated.contains({10.0, 20.5}));
+}
+
+TEST(Regulation, ConcavityIsFilledByRule2) {
+  const double tilt = -20.0;
+  const auto reports = step_reports(tilt);
+  LevelRegion raw(5.0, reports, kBounds, RegulationMode::kNone);
+  LevelRegion regulated(5.0, reports, kBounds, RegulationMode::kRules);
+  const double expected_delta = 12.5 * std::tan(20.0 * M_PI / 180.0);
+  EXPECT_NEAR(region_area(regulated) - region_area(raw), expected_delta,
+              0.6);
+
+  // Inside the notch (below y = 20, above r0's descending cut line, left
+  // of the shared edge): raw excludes it, Rule 2 fills it.
+  const Vec2 notch_point{18.0, 19.5};
+  EXPECT_FALSE(raw.contains(notch_point));
+  EXPECT_TRUE(regulated.contains(notch_point));
+  // Above y = 20: outside for both.
+  EXPECT_FALSE(raw.contains({18.0, 20.5}));
+  EXPECT_FALSE(regulated.contains({18.0, 20.5}));
+}
+
+TEST(Regulation, ParallelGradientsUnchanged) {
+  std::vector<IsolineReport> reports = {
+      {5.0, {15, 20}, {0, 1}, 0},
+      {5.0, {25, 20}, {0, 1}, 1},
+  };
+  LevelRegion raw(5.0, reports, kBounds, RegulationMode::kNone);
+  LevelRegion regulated(5.0, reports, kBounds, RegulationMode::kRules);
+  EXPECT_NEAR(region_area(raw), region_area(regulated), 1e-9);
+}
+
+TEST(Regulation, OpposingGradientsNotRegulated) {
+  // Opposing gradients mark the two sides of a thin band; the angle
+  // guard must prevent cross-regulation that would destroy the band.
+  std::vector<IsolineReport> reports = {
+      {5.0, {15, 20}, {-1, 0}, 0},
+      {5.0, {25, 20}, {1, 0}, 1},
+  };
+  LevelRegion regulated(5.0, reports, kBounds, RegulationMode::kRules);
+  EXPECT_TRUE(regulated.contains({20, 20}));
+  EXPECT_TRUE(regulated.contains({20, 35}));
+  EXPECT_FALSE(regulated.contains({5, 20}));
+  EXPECT_FALSE(regulated.contains({35, 20}));
+}
+
+TEST(Regulation, BoundaryPassesThroughJunction) {
+  // Asymmetric tilts whose junction lies strictly inside cell 0:
+  // r0 tilted 25 deg, r1 tilted 10 deg. The cut lines are
+  //   y = 20 + tan(25deg) (x - 15)   and   y = 20 + tan(10deg) (x - 25),
+  // meeting at x = (15 tan25 - 25 tan10) / (tan25 - tan10) ~ 8.92.
+  const double t0 = 25.0 * M_PI / 180.0;
+  const double t1 = 10.0 * M_PI / 180.0;
+  std::vector<IsolineReport> reports = {
+      {5.0, {15, 20}, Vec2{0, 1}.rotated(t0), 0},
+      {5.0, {25, 20}, Vec2{0, 1}.rotated(t1), 1},
+  };
+  const double xj = (15.0 * std::tan(t0) - 25.0 * std::tan(t1)) /
+                    (std::tan(t0) - std::tan(t1));
+  const Vec2 junction{xj, 20.0 + std::tan(t0) * (xj - 15.0)};
+
+  LevelRegion regulated(5.0, reports, kBounds, RegulationMode::kRules);
+  double nearest = 1e9;
+  for (const auto& chain : regulated.boundaries())
+    nearest = std::min(nearest, chain.distance_to(junction));
+  EXPECT_LT(nearest, 0.2);
+}
+
+TEST(Regulation, RegulatedRegionStillInterpolatesReports) {
+  for (double tilt : {15.0, -15.0, 30.0, -30.0}) {
+    const auto reports = step_reports(tilt);
+    LevelRegion regulated(5.0, reports, kBounds, RegulationMode::kRules);
+    for (const auto& r : reports) {
+      double nearest = 1e9;
+      for (const auto& chain : regulated.boundaries())
+        nearest = std::min(nearest, chain.distance_to(r.position));
+      EXPECT_LT(nearest, 0.5) << "tilt " << tilt;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isomap

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "geometry/segment.hpp"
+#include "util/rng.hpp"
+
+namespace isomap {
+namespace {
+
+TEST(Segment, BasicProperties) {
+  const Segment s{{0, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(s.length(), 5.0);
+  EXPECT_EQ(s.midpoint(), (Vec2{1.5, 2.0}));
+  EXPECT_NEAR(s.direction().x, 0.6, 1e-12);
+  EXPECT_EQ(s.at(0.0), s.a);
+  EXPECT_EQ(s.at(1.0), s.b);
+}
+
+TEST(PointSegmentDistance, ProjectionCases) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 3}, s), 3.0);   // Interior.
+  EXPECT_DOUBLE_EQ(point_segment_distance({-3, 4}, s), 5.0);  // Before a.
+  EXPECT_DOUBLE_EQ(point_segment_distance({13, 4}, s), 5.0);  // After b.
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 0}, s), 0.0);   // On segment.
+}
+
+TEST(PointSegmentDistance, DegenerateSegment) {
+  const Segment p{{2, 2}, {2, 2}};
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 6}, p), 5.0);
+}
+
+TEST(SegmentIntersection, ProperCrossing) {
+  const auto x = segment_intersection({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(x->x, 1.0, 1e-12);
+  EXPECT_NEAR(x->y, 1.0, 1e-12);
+}
+
+TEST(SegmentIntersection, NoCrossing) {
+  EXPECT_FALSE(
+      segment_intersection({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}).has_value());
+  EXPECT_FALSE(
+      segment_intersection({{0, 0}, {1, 1}}, {{3, 0}, {4, 1}}).has_value());
+}
+
+TEST(SegmentIntersection, TouchingEndpoint) {
+  const auto x = segment_intersection({{0, 0}, {1, 1}}, {{1, 1}, {2, 0}});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(x->x, 1.0, 1e-9);
+  EXPECT_NEAR(x->y, 1.0, 1e-9);
+}
+
+TEST(SegmentIntersection, CollinearOverlapReturnsSharedPoint) {
+  const auto x = segment_intersection({{0, 0}, {2, 0}}, {{1, 0}, {3, 0}});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(x->y, 0.0, 1e-12);
+  EXPECT_GE(x->x, 1.0 - 1e-9);
+  EXPECT_LE(x->x, 2.0 + 1e-9);
+}
+
+TEST(SegmentIntersection, CollinearDisjoint) {
+  EXPECT_FALSE(
+      segment_intersection({{0, 0}, {1, 0}}, {{2, 0}, {3, 0}}).has_value());
+}
+
+TEST(LineSegmentIntersection, CrossingAndMiss) {
+  const Line vertical{{1, 0}, {0, 1}};
+  const auto x = line_segment_intersection(vertical, {{0, 5}, {2, 5}});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(x->x, 1.0, 1e-12);
+  EXPECT_NEAR(x->y, 5.0, 1e-12);
+  EXPECT_FALSE(
+      line_segment_intersection(vertical, {{2, 0}, {3, 0}}).has_value());
+}
+
+TEST(HalfPlane, CloserToBisector) {
+  const HalfPlane hp = HalfPlane::closer_to({0, 0}, {2, 0});
+  EXPECT_TRUE(hp.contains({0.5, 1.0}));
+  EXPECT_FALSE(hp.contains({1.5, 1.0}));
+  EXPECT_TRUE(hp.contains({1.0, 0.0}));  // Boundary point is included.
+}
+
+TEST(HalfPlane, AgainstDirection) {
+  // Points q with (q - anchor).dir <= 0.
+  const HalfPlane hp = HalfPlane::against_direction({1, 1}, {1, 0});
+  EXPECT_TRUE(hp.contains({0, 5}));
+  EXPECT_TRUE(hp.contains({1, -3}));
+  EXPECT_FALSE(hp.contains({2, 0}));
+}
+
+TEST(HalfPlane, SignedExcessSigns) {
+  const HalfPlane hp = HalfPlane::against_direction({0, 0}, {1, 0});
+  EXPECT_LT(hp.signed_excess({-1, 0}), 0.0);
+  EXPECT_GT(hp.signed_excess({1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(hp.signed_excess({0, 7}), 0.0);
+}
+
+class SegmentProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SegmentProperty, IntersectionLiesOnBothSegments) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Segment s1{{rng.uniform(-5, 5), rng.uniform(-5, 5)},
+                     {rng.uniform(-5, 5), rng.uniform(-5, 5)}};
+    const Segment s2{{rng.uniform(-5, 5), rng.uniform(-5, 5)},
+                     {rng.uniform(-5, 5), rng.uniform(-5, 5)}};
+    const auto x = segment_intersection(s1, s2);
+    if (!x) continue;
+    EXPECT_LE(point_segment_distance(*x, s1), 1e-6);
+    EXPECT_LE(point_segment_distance(*x, s2), 1e-6);
+  }
+}
+
+TEST_P(SegmentProperty, ClosestPointIsOptimal) {
+  Rng rng(GetParam() + 77);
+  for (int i = 0; i < 100; ++i) {
+    const Segment s{{rng.uniform(-5, 5), rng.uniform(-5, 5)},
+                    {rng.uniform(-5, 5), rng.uniform(-5, 5)}};
+    const Vec2 q{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const double d = point_segment_distance(q, s);
+    // No sampled point on the segment may be closer.
+    for (int k = 0; k <= 20; ++k) {
+      EXPECT_GE(q.distance_to(s.at(k / 20.0)) + 1e-9, d);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentProperty, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace isomap

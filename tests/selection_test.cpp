@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "isomap/node_selection.hpp"
+#include "sim/scenario.hpp"
+
+namespace isomap {
+namespace {
+
+TEST(Candidate, BorderRegionBounds) {
+  EXPECT_TRUE(is_candidate(10.0, 10.0, 0.5));
+  EXPECT_TRUE(is_candidate(10.49, 10.0, 0.5));
+  EXPECT_TRUE(is_candidate(9.5, 10.0, 0.5));   // Inclusive boundary.
+  EXPECT_FALSE(is_candidate(10.51, 10.0, 0.5));
+  EXPECT_FALSE(is_candidate(8.0, 10.0, 0.5));
+}
+
+TEST(IsIsolineNode, RequiresBothConditions) {
+  // Condition 1 fails: reading far from the level.
+  EXPECT_FALSE(is_isoline_node(8.0, {12.0}, 10.0, 0.5));
+  // Condition 2 fails: no neighbour across the level.
+  EXPECT_FALSE(is_isoline_node(9.8, {9.5, 9.9}, 10.0, 0.5));
+  // Both hold: reading just below, neighbour above.
+  EXPECT_TRUE(is_isoline_node(9.8, {10.4}, 10.0, 0.5));
+  // Symmetric: reading just above, neighbour below.
+  EXPECT_TRUE(is_isoline_node(10.2, {9.7}, 10.0, 0.5));
+}
+
+TEST(IsIsolineNode, StrictCrossingExcludesEqualValues) {
+  // The definition requires lambda strictly between the readings.
+  EXPECT_FALSE(is_isoline_node(10.0, {10.0}, 10.0, 0.5));
+  EXPECT_FALSE(is_isoline_node(9.9, {10.0}, 10.0, 0.5));
+  EXPECT_TRUE(is_isoline_node(9.9, {10.01}, 10.0, 0.5));
+}
+
+TEST(IsIsolineNode, NoNeighboursNeverSelected) {
+  EXPECT_FALSE(is_isoline_node(10.0, {}, 10.0, 0.5));
+}
+
+Scenario default_scenario(int n, std::uint64_t seed,
+                          double side = 50.0) {
+  ScenarioConfig config;
+  config.num_nodes = n;
+  config.field_side = side;
+  config.seed = seed;
+  return make_scenario(config);
+}
+
+TEST(SelectIsolineNodes, SelectedNodesSatisfyDefinition) {
+  const Scenario s = default_scenario(2500, 1);
+  const ContourQuery query = default_query(s.field);
+  const auto selected = select_isoline_nodes(s.graph, s.readings, query);
+  ASSERT_FALSE(selected.empty());
+  const double eps = query.epsilon();
+  for (const auto& entry : selected) {
+    const double v = s.readings[static_cast<std::size_t>(entry.node)];
+    EXPECT_LE(std::abs(v - entry.isolevel), eps + 1e-12);
+    bool crossing = false;
+    for (int nb : s.graph.neighbours(entry.node)) {
+      const double nv = s.readings[static_cast<std::size_t>(nb)];
+      crossing |= (v < entry.isolevel && entry.isolevel < nv) ||
+                  (nv < entry.isolevel && entry.isolevel < v);
+    }
+    EXPECT_TRUE(crossing);
+  }
+}
+
+TEST(SelectIsolineNodes, LargerEpsilonSelectsMore) {
+  const Scenario s = default_scenario(2500, 2);
+  ContourQuery narrow = default_query(s.field);
+  narrow.epsilon_fraction = 0.02;
+  ContourQuery wide = default_query(s.field);
+  wide.epsilon_fraction = 0.2;
+  const auto few = select_isoline_nodes(s.graph, s.readings, narrow);
+  const auto many = select_isoline_nodes(s.graph, s.readings, wide);
+  EXPECT_GT(many.size(), few.size());
+}
+
+TEST(SelectIsolineNodes, DeadNodesNeverSelected) {
+  ScenarioConfig config;
+  config.num_nodes = 2000;
+  config.failure_fraction = 0.3;
+  config.seed = 3;
+  const Scenario s = make_scenario(config);
+  const auto selected =
+      select_isoline_nodes(s.graph, s.readings, default_query(s.field));
+  for (const auto& entry : selected)
+    EXPECT_TRUE(s.deployment.node(entry.node).alive);
+}
+
+TEST(SelectIsolineNodes, OpsAreBoundedByDegree) {
+  const Scenario s = default_scenario(1000, 4);
+  const ContourQuery query = default_query(s.field);
+  std::vector<double> ops;
+  select_isoline_nodes(s.graph, s.readings, query, &ops);
+  const double levels = static_cast<double>(query.isolevels().size());
+  for (int v = 0; v < s.deployment.size(); ++v) {
+    if (!s.graph.alive(v)) continue;
+    const double bound = levels + 2.0 * levels * s.graph.degree(v) + 1.0;
+    EXPECT_LE(ops[static_cast<std::size_t>(v)], bound);
+  }
+}
+
+// The paper's Theorem 4.1: isoline nodes scale as O(sqrt(n)). The theorem
+// assumes a constant number of well-behaved contour regions in a growing
+// field, which the scale-invariant sloped terrain plus a fixed absolute
+// query window reproduce. Quadrupling n must roughly double (not
+// quadruple) the selected count.
+TEST(SelectIsolineNodes, CountScalesAsSqrtN) {
+  double counts[2] = {0.0, 0.0};
+  const int sizes[2] = {2500, 10000};
+  for (int i = 0; i < 2; ++i) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      ScenarioConfig config;
+      config.num_nodes = sizes[i];
+      // Field side sqrt(n) keeps density 1, the paper's normalization.
+      config.field_side = std::sqrt(static_cast<double>(sizes[i]));
+      config.field = FieldKind::kSloped;
+      config.seed = seed;
+      const Scenario s = make_scenario(config);
+      const auto selected =
+          select_isoline_nodes(s.graph, s.readings, scaling_query());
+      std::set<int> distinct;
+      for (const auto& e : selected) distinct.insert(e.node);
+      counts[i] += static_cast<double>(distinct.size()) / 3.0;
+    }
+  }
+  const double growth = counts[1] / counts[0];
+  EXPECT_GT(growth, 1.4);  // More than constant.
+  EXPECT_LT(growth, 3.0);  // Far less than linear (x4).
+}
+
+TEST(AdaptiveSelection, SelectedNodesStillSatisfyCrossing) {
+  const Scenario s = default_scenario(2500, 21);
+  const ContourQuery query = default_query(s.field);
+  const auto selected = select_isoline_nodes_adaptive(
+      s.graph, s.deployment, s.readings, query, 1.5);
+  ASSERT_FALSE(selected.empty());
+  for (const auto& entry : selected) {
+    const double v = s.readings[static_cast<std::size_t>(entry.node)];
+    bool crossing = false;
+    for (int nb : s.graph.neighbours(entry.node)) {
+      const double nv = s.readings[static_cast<std::size_t>(nb)];
+      crossing |= (v < entry.isolevel && entry.isolevel < nv) ||
+                  (nv < entry.isolevel && entry.isolevel < v);
+    }
+    EXPECT_TRUE(crossing);
+  }
+}
+
+TEST(AdaptiveSelection, WiderStripSelectsMore) {
+  const Scenario s = default_scenario(2500, 22);
+  const ContourQuery query = default_query(s.field);
+  const auto narrow = select_isoline_nodes_adaptive(
+      s.graph, s.deployment, s.readings, query, 0.5);
+  const auto wide = select_isoline_nodes_adaptive(
+      s.graph, s.deployment, s.readings, query, 3.0);
+  EXPECT_GT(wide.size(), narrow.size());
+}
+
+TEST(AdaptiveSelection, SelectionTracksLocalSlopeNotFixedEpsilon) {
+  // On a steep field a node just outside the fixed border region must
+  // still be selected by the adaptive rule when it is spatially close to
+  // the isoline. Construct: plane with slope 1, isolevel 10, node at
+  // value 10.4 (fixed eps = 0.05 * T; with T = 5, eps = 0.25 < 0.4) with
+  // a neighbour across the level.
+  std::vector<Node> nodes = {{0, {10.4, 5}, true, {}}, {1, {9.6, 5}, true, {}}};
+  Deployment dep({0, 0, 20, 10}, std::move(nodes));
+  const CommGraph graph(dep, 1.5);
+  const std::vector<double> readings{10.4, 9.6};  // v = x on a slope-1 plane.
+  ContourQuery query;
+  query.lambda_lo = 5.0;
+  query.lambda_hi = 15.0;
+  query.granularity = 5.0;  // Isolevel at 10 (and 15).
+  const auto fixed = select_isoline_nodes(graph, readings, query);
+  const auto adaptive = select_isoline_nodes_adaptive(
+      graph, dep, readings, query, /*strip_width=*/1.5);
+  EXPECT_TRUE(fixed.empty());         // 0.4 > 0.25 fixed border.
+  EXPECT_EQ(adaptive.size(), 2u);     // eps_i = 0.75 * slope 1 = 0.75.
+}
+
+class SelectionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelectionProperty, EverySelectedLevelIsQueried) {
+  ScenarioConfig config;
+  config.num_nodes = 1500;
+  config.seed = GetParam();
+  config.field = FieldKind::kRandom;
+  const Scenario s = make_scenario(config);
+  const ContourQuery query = default_query(s.field, 5);
+  const auto levels = query.isolevels();
+  const auto selected = select_isoline_nodes(s.graph, s.readings, query);
+  for (const auto& entry : selected) {
+    bool known = false;
+    for (double l : levels) known |= std::abs(l - entry.isolevel) < 1e-12;
+    EXPECT_TRUE(known);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace isomap

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "eval/svg.hpp"
+
+namespace isomap {
+namespace {
+
+TEST(SvgWriter, EmptyDocumentIsWellFormed) {
+  SvgWriter writer({0, 0, 10, 10}, 100);
+  const std::string doc = writer.str();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_NE(doc.find("width=\"100\""), std::string::npos);
+  EXPECT_NE(doc.find("height=\"100\""), std::string::npos);
+}
+
+TEST(SvgWriter, AspectRatioFollowsBounds) {
+  SvgWriter wide({0, 0, 20, 10}, 200);
+  EXPECT_NE(wide.str().find("height=\"100\""), std::string::npos);
+}
+
+TEST(SvgWriter, PolylineOpenVsClosed) {
+  SvgWriter writer({0, 0, 10, 10}, 100);
+  writer.add_polyline(Polyline({{1, 1}, {2, 2}, {3, 1}}, false), "red");
+  writer.add_polyline(Polyline({{5, 5}, {6, 6}, {7, 5}}, true), "blue");
+  const std::string doc = writer.str();
+  EXPECT_NE(doc.find("<polyline"), std::string::npos);
+  EXPECT_NE(doc.find("<polygon"), std::string::npos);
+  EXPECT_NE(doc.find("stroke=\"red\""), std::string::npos);
+  EXPECT_NE(doc.find("stroke=\"blue\""), std::string::npos);
+}
+
+TEST(SvgWriter, DegeneratePolylineSkipped) {
+  SvgWriter writer({0, 0, 10, 10}, 100);
+  writer.add_polyline(Polyline({{1, 1}}, false), "red");
+  EXPECT_EQ(writer.str().find("<polyline"), std::string::npos);
+}
+
+TEST(SvgWriter, YAxisIsFlipped) {
+  // World (0, 10) (top-left in world) must map to canvas y = 0.
+  SvgWriter writer({0, 0, 10, 10}, 100);
+  writer.add_points({{0, 10}}, "black", 2.0);
+  const std::string doc = writer.str();
+  EXPECT_NE(doc.find("cx=\"0\" cy=\"0\""), std::string::npos);
+}
+
+TEST(SvgWriter, RasterCoversCanvas) {
+  SvgWriter writer({0, 0, 10, 10}, 100);
+  writer.add_level_raster([](Vec2 p) { return p.x < 5 ? 0 : 2; }, 2, 4);
+  const std::string doc = writer.str();
+  // 16 rect cells plus the background rect.
+  std::size_t count = 0;
+  for (std::size_t pos = doc.find("<rect"); pos != std::string::npos;
+       pos = doc.find("<rect", pos + 1))
+    ++count;
+  EXPECT_EQ(count, 17u);
+}
+
+TEST(SvgWriter, MarkerIncludesLabel) {
+  SvgWriter writer({0, 0, 10, 10}, 100);
+  writer.add_marker({5, 5}, "sink", "black");
+  EXPECT_NE(writer.str().find(">sink</text>"), std::string::npos);
+}
+
+TEST(SvgWriter, SaveWritesFile) {
+  SvgWriter writer({0, 0, 10, 10}, 50);
+  writer.add_points({{5, 5}}, "green");
+  const std::string path = "/tmp/isomap_svg_test.svg";
+  ASSERT_TRUE(writer.save(path));
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_NE(first.find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LevelFillColour, RampIsMonotoneDarker) {
+  // Higher level -> darker fill (smaller RGB components).
+  const std::string low = level_fill_colour(0, 4);
+  const std::string high = level_fill_colour(4, 4);
+  EXPECT_NE(low, high);
+  EXPECT_EQ(level_fill_colour(0, 0), level_fill_colour(0, 0));
+  int r_low = 0, r_high = 0;
+  std::sscanf(low.c_str(), "rgb(%d", &r_low);
+  std::sscanf(high.c_str(), "rgb(%d", &r_high);
+  EXPECT_GT(r_low, r_high);
+}
+
+}  // namespace
+}  // namespace isomap

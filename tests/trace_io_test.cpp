@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "field/bathymetry.hpp"
+#include "field/trace_io.hpp"
+
+namespace isomap {
+namespace {
+
+TEST(TraceIo, ParsesMinimalGrid) {
+  std::istringstream in(
+      "ncols 3\nnrows 2\nxllcorner 10\nyllcorner 20\ncellsize 5\n"
+      "4 5 6\n"    // Northern (top) row -> iy = 1.
+      "1 2 3\n");  // Southern (bottom) row -> iy = 0.
+  const GridField grid = read_ascii_grid(in);
+  EXPECT_EQ(grid.nx(), 3);
+  EXPECT_EQ(grid.ny(), 2);
+  EXPECT_DOUBLE_EQ(grid.bounds().x0, 10.0);
+  EXPECT_DOUBLE_EQ(grid.bounds().y0, 20.0);
+  EXPECT_DOUBLE_EQ(grid.bounds().x1, 20.0);
+  EXPECT_DOUBLE_EQ(grid.bounds().y1, 25.0);
+  EXPECT_DOUBLE_EQ(grid.at(0, 0), 1.0);   // South-west.
+  EXPECT_DOUBLE_EQ(grid.at(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(grid.at(0, 1), 4.0);   // North-west.
+  EXPECT_DOUBLE_EQ(grid.at(2, 1), 6.0);
+}
+
+TEST(TraceIo, NodataFilledWithMean) {
+  std::istringstream in(
+      "ncols 2\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize 1\n"
+      "NODATA_value -9999\n"
+      "2 -9999\n"
+      "4 6\n");
+  const GridField grid = read_ascii_grid(in);
+  EXPECT_DOUBLE_EQ(grid.at(1, 1), 4.0);  // Mean of 2, 4, 6.
+}
+
+TEST(TraceIo, HeaderIsCaseInsensitive) {
+  std::istringstream in(
+      "NCOLS 2\nNROWS 2\nXLLCORNER 0\nYLLCORNER 0\nCELLSIZE 1\n"
+      "1 2\n3 4\n");
+  EXPECT_NO_THROW(read_ascii_grid(in));
+}
+
+TEST(TraceIo, MalformedInputsThrow) {
+  std::istringstream too_small(
+      "ncols 1\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize 1\n1\n2\n");
+  EXPECT_THROW(read_ascii_grid(too_small), std::runtime_error);
+  std::istringstream truncated(
+      "ncols 2\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize 1\n1 2 3\n");
+  EXPECT_THROW(read_ascii_grid(truncated), std::runtime_error);
+  std::istringstream bad_cell(
+      "ncols 2\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize 0\n1 2\n3 4\n");
+  EXPECT_THROW(read_ascii_grid(bad_cell), std::runtime_error);
+  std::istringstream empty("");
+  EXPECT_THROW(read_ascii_grid(empty), std::runtime_error);
+}
+
+TEST(TraceIo, RoundTripPreservesHarborTrace) {
+  const GridField original =
+      GridField::sample(harbor_bathymetry(), 60, 60);
+  std::stringstream buffer;
+  write_ascii_grid(original, buffer);
+  const GridField restored = read_ascii_grid(buffer);
+  ASSERT_EQ(restored.nx(), original.nx());
+  ASSERT_EQ(restored.ny(), original.ny());
+  for (int iy = 0; iy < 60; iy += 7)
+    for (int ix = 0; ix < 60; ix += 7)
+      EXPECT_NEAR(restored.at(ix, iy), original.at(ix, iy), 1e-6);
+  EXPECT_NEAR(restored.bounds().x1, original.bounds().x1, 1e-9);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const GridField original = GridField::sample(harbor_bathymetry(), 20, 20);
+  const std::string path = "/tmp/isomap_trace_test.asc";
+  ASSERT_TRUE(save_ascii_grid(original, path));
+  const GridField restored = load_ascii_grid(path);
+  EXPECT_NEAR(restored.value({25, 25}), original.value({25, 25}), 1e-6);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_ascii_grid("/nonexistent/nope.asc"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, NonSquareCellsRefuseToSerialize) {
+  // 3x2 samples over a square extent -> rectangular cells.
+  GridField grid({0, 0, 10, 10}, 3, 2, {1, 2, 3, 4, 5, 6});
+  std::ostringstream out;
+  EXPECT_THROW(write_ascii_grid(grid, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace isomap

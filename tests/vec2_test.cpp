@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/vec2.hpp"
+#include "util/rng.hpp"
+
+namespace isomap {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+  EXPECT_EQ(-a, (Vec2{-1.0, -2.0}));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+  EXPECT_DOUBLE_EQ(a.cross(a), 0.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(a.distance_to({0.0, 0.0}), 5.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_NEAR(a.normalized().norm(), 1.0, 1e-12);
+  EXPECT_EQ((Vec2{}).normalized(), Vec2{});
+}
+
+TEST(Vec2, PerpIsCcwAndOrthogonal) {
+  const Vec2 a{1.0, 0.0};
+  EXPECT_EQ(a.perp(), (Vec2{0.0, 1.0}));
+  const Vec2 b{2.0, 5.0};
+  EXPECT_DOUBLE_EQ(b.dot(b.perp()), 0.0);
+  EXPECT_GT(b.cross(b.perp()), 0.0);  // CCW.
+}
+
+TEST(Vec2, RotationBySpecialAngles) {
+  const Vec2 x{1.0, 0.0};
+  const Vec2 r90 = x.rotated(M_PI / 2);
+  EXPECT_NEAR(r90.x, 0.0, 1e-12);
+  EXPECT_NEAR(r90.y, 1.0, 1e-12);
+  const Vec2 r180 = x.rotated(M_PI);
+  EXPECT_NEAR(r180.x, -1.0, 1e-12);
+  EXPECT_NEAR(r180.y, 0.0, 1e-12);
+}
+
+TEST(Vec2, AngleOfAxes) {
+  EXPECT_NEAR((Vec2{1.0, 0.0}).angle(), 0.0, 1e-12);
+  EXPECT_NEAR((Vec2{0.0, 1.0}).angle(), M_PI / 2, 1e-12);
+  EXPECT_NEAR((Vec2{-1.0, 0.0}).angle(), M_PI, 1e-12);
+}
+
+TEST(AngleBetween, KnownAngles) {
+  EXPECT_NEAR(angle_between({1, 0}, {0, 1}), M_PI / 2, 1e-12);
+  EXPECT_NEAR(angle_between({1, 0}, {1, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(angle_between({1, 0}, {-1, 0}), M_PI, 1e-12);
+  EXPECT_NEAR(angle_between({1, 0}, {1, 1}), M_PI / 4, 1e-12);
+}
+
+TEST(AngleBetween, ScaleInvariant) {
+  EXPECT_NEAR(angle_between({2, 3}, {-1, 4}),
+              angle_between({20, 30}, {-0.5, 2.0}), 1e-12);
+}
+
+TEST(AngleBetween, DegenerateInputIsMaximal) {
+  EXPECT_DOUBLE_EQ(angle_between({0, 0}, {1, 0}), M_PI);
+  EXPECT_DOUBLE_EQ(angle_between({1, 0}, {0, 0}), M_PI);
+}
+
+TEST(Orient, SignsMatchGeometry) {
+  EXPECT_GT(orient({0, 0}, {1, 0}, {0, 1}), 0.0);   // Left turn.
+  EXPECT_LT(orient({0, 0}, {1, 0}, {0, -1}), 0.0);  // Right turn.
+  EXPECT_DOUBLE_EQ(orient({0, 0}, {1, 0}, {2, 0}), 0.0);
+}
+
+class Vec2Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Vec2Property, RotationPreservesNormAndComposes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const Vec2 v{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const double a = rng.uniform(-6.0, 6.0);
+    const double b = rng.uniform(-6.0, 6.0);
+    EXPECT_NEAR(v.rotated(a).norm(), v.norm(), 1e-9);
+    const Vec2 composed = v.rotated(a).rotated(b);
+    const Vec2 direct = v.rotated(a + b);
+    EXPECT_NEAR(composed.x, direct.x, 1e-9);
+    EXPECT_NEAR(composed.y, direct.y, 1e-9);
+  }
+}
+
+TEST_P(Vec2Property, AngleBetweenIsSymmetricAndBounded) {
+  Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 50; ++i) {
+    const Vec2 a{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const Vec2 b{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const double ab = angle_between(a, b);
+    EXPECT_NEAR(ab, angle_between(b, a), 1e-12);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, M_PI);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Vec2Property, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace isomap
