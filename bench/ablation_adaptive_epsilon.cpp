@@ -29,7 +29,8 @@ int main() {
   for (const auto& cfg : configs) {
     for (const bool adaptive : {false, true}) {
       RunningStats generated, sunk, acc;
-      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      for (std::uint64_t trial = 1; trial <= kSeeds; ++trial) {
+        const std::uint64_t seed = trial_seed(trial);
         ScenarioConfig sc;
         sc.num_nodes = static_cast<int>(cfg.density * 2500.0 + 0.5);
         sc.failure_fraction = cfg.failures;
@@ -54,6 +55,6 @@ int main() {
           .cell(acc.mean(), 1);
     }
   }
-  table.print(std::cout);
+  emit_table("ablation_adaptive_epsilon", table);
   return 0;
 }

@@ -45,7 +45,8 @@ int main() {
   RunningStats none_r, none_a, none_kb;
   RunningStats paper_r, paper_a, paper_kb;
   RunningStats dist_r, dist_a, dist_kb;
-  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+  for (std::uint64_t trial = 1; trial <= kSeeds; ++trial) {
+    const std::uint64_t seed = trial_seed(trial);
     const Scenario s = harbor_scenario(2500, seed);
     const Outcome none = run_with(s, false, 0.0, 0.0);
     const Outcome paper = run_with(s, true, 30.0, 4.0);
@@ -77,6 +78,6 @@ int main() {
       .cell(dist_r.mean(), 1)
       .cell(dist_kb.mean(), 2)
       .cell(dist_a.mean(), 2);
-  table.print(std::cout);
+  emit_table("ablation_filtering", table);
   return 0;
 }

@@ -25,7 +25,8 @@ int main() {
     const int n = static_cast<int>(density * 2500.0 + 0.5);
     RunningStats iso_rep, iso_kb, iso_acc, iso_iou;
     RunningStats agg_rep, agg_kb, agg_acc, agg_iou;
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    for (std::uint64_t trial = 1; trial <= kSeeds; ++trial) {
+      const std::uint64_t seed = trial_seed(trial);
       ScenarioConfig config;
       config.num_nodes = n;
       config.seed = seed;
@@ -92,6 +93,6 @@ int main() {
         .cell(agg_acc.mean(), 1)
         .cell(agg_iou.mean(), 3);
   }
-  table.print(std::cout);
+  emit_table("ablation_gradient", table);
   return 0;
 }

@@ -4,20 +4,119 @@
 // binary regenerates one table or figure of the paper (see DESIGN.md's
 // experiment index) and prints the same rows/series the paper reports.
 
+#include <charconv>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "eval/metrics.hpp"
 #include "eval/render.hpp"
 #include "sim/runners.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace isomap::bench {
 
+/// Base seed every benchmark derives its trial seeds from, so the whole
+/// harness reruns one deterministic experiment set: trial t uses
+/// trial_seed(t) (1-based, matching the paper's "seeds 1..k" sweeps).
+inline constexpr std::uint64_t kBenchSeed = 1;
+inline std::uint64_t trial_seed(std::uint64_t trial) {
+  return kBenchSeed + trial - 1;
+}
+
+/// Output directory for machine-readable benchmark results (created on
+/// first use). Defaults to `results/` under the current directory;
+/// override with the ISOMAP_RESULTS_DIR environment variable.
+inline std::filesystem::path results_dir() {
+  const char* env = std::getenv("ISOMAP_RESULTS_DIR");
+  std::filesystem::path dir = (env && *env) ? env : "results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// A table as JSON: {"headers": [...], "rows": [[...], ...]}. Cells that
+/// parse fully as numbers are emitted as numbers, others as strings.
+inline JsonValue table_json(const Table& table) {
+  JsonValue v = JsonValue::object();
+  JsonValue& hs = v["headers"];
+  hs = JsonValue::array();
+  for (const auto& h : table.headers()) hs.push_back(JsonValue(h));
+  JsonValue& rows = v["rows"];
+  rows = JsonValue::array();
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    JsonValue row = JsonValue::array();
+    for (std::size_t c = 0; c < table.num_cols(); ++c) {
+      const std::string& cell = table.at(r, c);
+      double num = 0.0;
+      const auto res =
+          std::from_chars(cell.data(), cell.data() + cell.size(), num);
+      if (res.ec == std::errc() && res.ptr == cell.data() + cell.size())
+        row.push_back(JsonValue(num));
+      else
+        row.push_back(JsonValue(cell));
+    }
+    rows.push_back(std::move(row));
+  }
+  return v;
+}
+
+/// Write `payload` to results/BENCH_<id>.json (pretty-printed). Returns
+/// the path written, or empty on I/O failure (reported to stderr, never
+/// fatal — benches still print their tables).
+inline std::string write_bench_json(const std::string& id,
+                                    const JsonValue& payload) {
+  const std::filesystem::path path = results_dir() / ("BENCH_" + id + ".json");
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "[bench] cannot write " << path << "\n";
+    return {};
+  }
+  out << payload.dump(2) << "\n";
+  return path.string();
+}
+
+namespace detail {
+/// Title of the most recent banner() call — emit_table() stamps it into
+/// the JSON payload so each BENCH_*.json is self-describing.
+inline std::string last_banner_title;  // NOLINT(cert-err58-cpp)
+}  // namespace detail
+
+/// Print a table to stdout AND persist it as results/BENCH_<id>.json —
+/// the machine-readable twin of every paper-shaped table. The title is
+/// taken from the preceding banner() call.
+inline void emit_table(const std::string& id, const Table& table) {
+  table.print(std::cout);
+  JsonValue payload = JsonValue::object();
+  payload["bench"] = JsonValue(id);
+  payload["title"] = JsonValue(detail::last_banner_title);
+  payload["seed_base"] = JsonValue(kBenchSeed);
+  payload["table"] = table_json(table);
+  const std::string path = write_bench_json(id, payload);
+  if (!path.empty()) std::cout << "[bench] wrote " << path << "\n";
+}
+
+/// Persist a RunSummary alongside a bench's tables (BENCH_<id>.json with
+/// a "run_summary" payload) — per-phase timings for one representative run.
+inline void emit_run_summary(const std::string& id,
+                             const obs::RunSummary& summary) {
+  JsonValue payload = JsonValue::object();
+  payload["bench"] = JsonValue(id);
+  payload["title"] = JsonValue(detail::last_banner_title);
+  payload["seed_base"] = JsonValue(kBenchSeed);
+  payload["run_summary"] = summary.to_json();
+  const std::string path = write_bench_json(id, payload);
+  if (!path.empty()) std::cout << "[bench] wrote " << path << "\n";
+}
+
 /// Print the standard figure banner.
 inline void banner(const std::string& id, const std::string& title,
                    const std::string& paper_expectation) {
+  detail::last_banner_title = title;
   std::cout << "==================================================\n"
             << id << ": " << title << "\n"
             << "Paper expectation: " << paper_expectation << "\n"

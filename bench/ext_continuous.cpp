@@ -72,7 +72,7 @@ int main() {
         .cell(cont_acc, 1)
         .cell(snap_acc, 1);
   }
-  table.print(std::cout);
+  emit_table("ext_continuous", table);
   std::cout << "\nTotals over " << kRounds
             << " rounds: delta " << delta_total / 1024.0
             << " KB vs snapshot re-runs " << snapshot_total / 1024.0

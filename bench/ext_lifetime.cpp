@@ -114,7 +114,8 @@ int main() {
                "ten_pct_dead_round", "map_unusable_round"});
   for (const std::string protocol : {"tinydb", "isomap"}) {
     RunningStats first, ten, unusable;
-    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    for (std::uint64_t trial = 1; trial <= 2; ++trial) {
+      const std::uint64_t seed = trial_seed(trial);
       const LifetimeOutcome outcome =
           run_lifetime(protocol, kBatteryMj, kMaxRounds, seed);
       if (outcome.first_death > 0) first.add(outcome.first_death);
@@ -129,7 +130,7 @@ int main() {
         .cell(ten.count() ? ten.mean() : -1.0, 0)
         .cell(unusable.mean(), 0);
   }
-  table.print(std::cout);
+  emit_table("ext_lifetime", table);
   std::cout << "\n(-1 = never reached within " << kMaxRounds
             << " rounds; the sink is mains-powered and exempt.)\n";
   return 0;

@@ -26,7 +26,8 @@ int main() {
     const double side = side_for_diameter(diameter);
     RunningStats iso_frames, iso_del, iso_col, iso_time, iso_ideal, iso_waste;
     RunningStats tdb_frames, tdb_del, tdb_col, tdb_time, tdb_ideal, tdb_waste;
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    for (std::uint64_t trial = 1; trial <= kSeeds; ++trial) {
+      const std::uint64_t seed = trial_seed(trial);
       const Scenario random = sloped_scenario(side, seed);
       const Scenario grid = sloped_scenario(side, seed, /*grid=*/true);
       const MacOptions mac;
@@ -79,7 +80,7 @@ int main() {
         .cell(tdb_ideal.mean(), 2)
         .cell(tdb_waste.mean(), 1);
   }
-  table.print(std::cout);
+  emit_table("ext_mac", table);
   std::cout << "\n(The replay keeps the protocols' burst schedules; a "
                "production TinyDB would pace its epoch to survive, paying "
                "even more latency. The point is the contention *pressure* "

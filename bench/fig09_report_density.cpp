@@ -51,7 +51,7 @@ int main() {
         s.field.bounds(), res, res,
         [&](Vec2 p) { return run.result.map.level_index(p); }));
   }
-  table.print(std::cout);
+  emit_table("fig09", table);
 
   std::cout << "\n"
             << ascii_render_pair(truth, maps[0], "ground truth",

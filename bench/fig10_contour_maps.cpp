@@ -57,7 +57,7 @@ int main() {
     write_pgm(i_map, "fig10_isomap_d" + std::to_string(i) + ".pgm");
   }
   std::cout << "\n";
-  table.print(std::cout);
+  emit_table("fig10", table);
   std::cout << "\nPGM renders written to fig10_*.pgm\n";
   return 0;
 }

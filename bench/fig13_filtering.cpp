@@ -25,7 +25,8 @@ int main() {
   for (double sa : sa_values) {
     for (double sd : sd_values) {
       RunningStats reports, kb, acc;
-      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      for (std::uint64_t trial = 1; trial <= kSeeds; ++trial) {
+        const std::uint64_t seed = trial_seed(trial);
         const Scenario s = harbor_scenario(2500, seed);
         IsoMapOptions options;
         options.query = default_query(s.field, 4);
@@ -47,7 +48,7 @@ int main() {
           .cell(acc.mean(), 1);
     }
   }
-  table.print(std::cout);
+  emit_table("fig13", table);
   std::cout << "\n(sa = 0 disables filtering; that row is the unfiltered "
                "baseline.)\n";
   return 0;

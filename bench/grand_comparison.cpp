@@ -26,7 +26,8 @@ int main() {
   };
   Row isomap_row, tinydb_row, inlr_row, escan_row, suppress_row, agg_row;
 
-  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+  for (std::uint64_t trial = 1; trial <= kSeeds; ++trial) {
+    const std::uint64_t seed = trial_seed(trial);
     const Scenario random = harbor_scenario(2500, seed);
     const Scenario grid = harbor_scenario(2500, seed, /*grid=*/true);
     const ContourQuery query = default_query(random.field, 4);
@@ -132,7 +133,7 @@ int main() {
   add("eScan", escan_row);
   add("DataSuppression", suppress_row);
   add("IsolineAgg (no d)", agg_row);
-  table.print(std::cout);
+  emit_table("grand_comparison", table);
   std::cout << "\n(sink_units: reports / regions / tuples the sink "
               "receives; suppression has no sink reconstruction.)\n";
   return 0;

@@ -15,6 +15,7 @@
 #include "isomap/contour_map.hpp"
 #include "isomap/filter.hpp"
 #include "isomap/regression.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace isomap {
@@ -115,6 +116,17 @@ void BM_HausdorffDistance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HausdorffDistance);
+
+// The cost of an observability hook with no context installed — the
+// "near-zero overhead when disabled" contract. Expected: ~1 ns (one
+// thread-local read plus a branch).
+void BM_ObsDisabledHook(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::count("bench.counter");
+    benchmark::DoNotOptimize(obs::active());
+  }
+}
+BENCHMARK(BM_ObsDisabledHook);
 
 }  // namespace
 }  // namespace isomap

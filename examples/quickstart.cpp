@@ -2,11 +2,21 @@
 // print the reconstructed isobath contour map next to the ground truth.
 //
 // Usage: quickstart [--nodes=2500] [--side=50] [--levels=4] [--seed=1]
+//                   [--trace=<run.jsonl>] [--summary=<summary.json>]
+//
+// --trace streams every ledger charge, phase timing, selection and filter
+// drop as one JSON object per line (inspect with tools/trace_summary).
+// --summary writes the run's obs::RunSummary (per-phase timing histograms,
+// counters, ledger totals) as a single JSON document.
 
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 
 #include "eval/metrics.hpp"
 #include "eval/render.hpp"
+#include "obs/trace.hpp"
 #include "sim/runners.hpp"
 #include "util/cli.hpp"
 
@@ -30,8 +40,34 @@ int main(int argc, char** argv) {
   std::cout << "Average node degree: " << scenario.graph.average_degree()
             << ", routing-tree depth: " << scenario.tree.depth() << " hops\n";
 
-  const IsoMapRun run = run_isomap(scenario, levels);
+  std::unique_ptr<obs::TraceSink> trace;
+  if (const auto trace_path = args.get("trace")) {
+    trace = std::make_unique<obs::TraceSink>(*trace_path);
+    if (!trace->ok()) {
+      std::cerr << "quickstart: cannot write trace to " << *trace_path
+                << "\n";
+      return 1;
+    }
+  }
+
+  const IsoMapRun run = run_isomap(scenario, levels, trace.get());
   const ContourQuery query = default_query(scenario.field, levels);
+
+  if (trace) {
+    trace->flush();
+    std::cout << "Trace events written:   " << trace->events() << " (to "
+              << *args.get("trace") << ")\n";
+  }
+  if (const auto summary_path = args.get("summary")) {
+    std::ofstream out(*summary_path);
+    if (!out) {
+      std::cerr << "quickstart: cannot write summary to " << *summary_path
+                << "\n";
+      return 1;
+    }
+    out << run.summary.to_json().dump(2) << "\n";
+    std::cout << "Run summary written:    " << *summary_path << "\n";
+  }
 
   std::cout << "Isoline nodes selected: " << run.result.isoline_node_count
             << "\nReports generated:      " << run.result.generated_reports

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
+
 namespace isomap {
 namespace {
 
@@ -75,12 +77,18 @@ EScanResult EScanProtocol::run(const Deployment& deployment,
   for (int u : tree.post_order()) {
     auto& outgoing = buffer[static_cast<std::size_t>(u)];
     if (outgoing.empty()) continue;
-    merge_tuples(outgoing, u);
+    {
+      const obs::PhaseTimer timer(obs::kPhaseAggregate);
+      merge_tuples(outgoing, u);
+    }
     if (u == tree.sink()) continue;
     const int p = tree.parent(u);
     const double bytes =
         static_cast<double>(outgoing.size()) * options_.tuple_bytes;
-    ledger.transmit(u, p, bytes);
+    {
+      const obs::PhaseTimer timer(obs::kPhaseReportRoute);
+      ledger.transmit(u, p, bytes);
+    }
     result.traffic_bytes += bytes;
     auto& inbox = buffer[static_cast<std::size_t>(p)];
     inbox.insert(inbox.end(), outgoing.begin(), outgoing.end());
@@ -89,6 +97,8 @@ EScanResult EScanProtocol::run(const Deployment& deployment,
   result.sink_tuples =
       std::move(buffer[static_cast<std::size_t>(tree.sink())]);
   result.tuples_at_sink = static_cast<int>(result.sink_tuples.size());
+  obs::count("reports.generated", result.reports_generated);
+  obs::count("aggregate.tuples_at_sink", result.tuples_at_sink);
   return result;
 }
 

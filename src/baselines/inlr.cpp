@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
+
 namespace isomap {
 namespace {
 
@@ -115,12 +117,20 @@ InlrResult InlrProtocol::run(const Deployment& deployment,
   for (int u : tree.post_order()) {
     auto& outgoing = buffer[static_cast<std::size_t>(u)];
     if (outgoing.empty()) continue;
-    merge_regions(outgoing, u);
+    {
+      // The numerical-integration merge is INLR's computational burden —
+      // phase-separated from routing so Fig. 15's cost is visible per hop.
+      const obs::PhaseTimer timer(obs::kPhaseAggregate);
+      merge_regions(outgoing, u);
+    }
     if (u == tree.sink()) continue;
     const int p = tree.parent(u);
     const double bytes =
         static_cast<double>(outgoing.size()) * options_.region_bytes;
-    ledger.transmit(u, p, bytes);
+    {
+      const obs::PhaseTimer timer(obs::kPhaseReportRoute);
+      ledger.transmit(u, p, bytes);
+    }
     result.traffic_bytes += bytes;
     auto& inbox = buffer[static_cast<std::size_t>(p)];
     inbox.insert(inbox.end(), outgoing.begin(), outgoing.end());
@@ -130,6 +140,8 @@ InlrResult InlrProtocol::run(const Deployment& deployment,
   result.sink_regions =
       std::move(buffer[static_cast<std::size_t>(tree.sink())]);
   result.regions_at_sink = static_cast<int>(result.sink_regions.size());
+  obs::count("reports.generated", result.reports_generated);
+  obs::count("aggregate.regions_at_sink", result.regions_at_sink);
   return result;
 }
 

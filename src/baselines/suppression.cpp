@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace isomap {
 
 SuppressionProtocol::SuppressionProtocol(SuppressionOptions options)
@@ -33,19 +35,25 @@ SuppressionResult SuppressionProtocol::run(const Deployment& deployment,
         break;
       }
     }
-    ledger.compute(node.id, ops);
+    {
+      const obs::PhaseTimer timer(obs::kPhaseSuppress);
+      ledger.compute(node.id, ops);
+    }
     if (suppressed) {
       ++result.reports_suppressed;
       continue;
     }
     transmitting[static_cast<std::size_t>(node.id)] = true;
     ++result.reports_generated;
+    const obs::PhaseTimer timer(obs::kPhaseReportRoute);
     const auto path = tree.path_to_sink(node.id);
     for (std::size_t h = 0; h + 1 < path.size(); ++h) {
       ledger.transmit(path[h], path[h + 1], options_.report_bytes);
       result.traffic_bytes += options_.report_bytes;
     }
   }
+  obs::count("reports.generated", result.reports_generated);
+  obs::count("reports.suppressed", result.reports_suppressed);
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include "eval/level_map.hpp"
 #include "net/channel.hpp"
 #include "geometry/marching_squares.hpp"
+#include "obs/obs.hpp"
 
 namespace isomap {
 
@@ -29,6 +30,7 @@ TinyDBResult TinyDBProtocol::run(const Deployment& deployment,
                         ? Channel(options_.link_loss, options_.link_retries,
                                   Rng(options_.link_seed))
                         : Channel();
+  obs::PhaseTimer route_timer(obs::kPhaseReportRoute);
   std::vector<std::optional<double>> received(
       static_cast<std::size_t>(cols) * rows);
   std::vector<double> tx_per_node(static_cast<std::size_t>(n), 0.0);
@@ -70,11 +72,15 @@ TinyDBResult TinyDBProtocol::run(const Deployment& deployment,
     slot = std::max(slot, tx_per_node[static_cast<std::size_t>(u)]);
   }
   for (double slot : level_bottleneck) result.bottleneck_bytes += slot;
+  route_timer.stop();
+  obs::count("reports.generated", result.reports_generated);
+  obs::count("reports.delivered", result.reports_delivered);
 
   if (result.reports_delivered == 0) return result;
 
   // Sink interpolation: fill missing cells by iteratively averaging the
   // available 4-neighbourhood until every cell has a value.
+  const obs::PhaseTimer map_timer(obs::kPhaseMapGen);
   std::vector<std::optional<double>> grid = received;
   bool any_missing = true;
   for (int pass = 0; pass < cols + rows && any_missing; ++pass) {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "geometry/segment.hpp"
+#include "obs/obs.hpp"
 
 namespace isomap {
 namespace {
@@ -229,6 +230,11 @@ ContourMapBuilder::ContourMapBuilder(FieldBounds bounds, RegulationMode mode)
 
 ContourMap ContourMapBuilder::build(const std::vector<IsolineReport>& reports,
                                     const std::vector<double>& isolevels) const {
+  // Sink-side construction: wall time per level is the observable; no
+  // ledger charge (the sink is a powered host).
+  obs::PhaseTimer timer(obs::kPhaseMapGen);
+  obs::count("map_gen.reports", static_cast<double>(reports.size()));
+  obs::count("map_gen.levels", static_cast<double>(isolevels.size()));
   std::vector<LevelRegion> regions;
   regions.reserve(isolevels.size());
   for (double lambda : isolevels) {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace isomap {
 
 InNetworkFilter::InNetworkFilter(double angular_deg, double distance)
@@ -20,7 +22,10 @@ bool InNetworkFilter::redundant(const IsolineReport& a,
 
 void InNetworkFilter::merge(std::vector<IsolineReport>& kept,
                             const std::vector<IsolineReport>& incoming,
-                            double* ops) const {
+                            double* ops, int at_node) const {
+  // Resolve the observation context once per merge, not per comparison.
+  obs::TraceSink* const sink = obs::trace();
+  std::size_t dropped = 0;
   for (const auto& report : incoming) {
     bool drop = false;
     for (const auto& existing : kept) {
@@ -30,8 +35,22 @@ void InNetworkFilter::merge(std::vector<IsolineReport>& kept,
         break;
       }
     }
-    if (!drop) kept.push_back(report);
+    if (drop) {
+      ++dropped;
+      if (sink != nullptr) {
+        obs::TraceEvent event;
+        event.kind = "drop";
+        event.phase = obs::kPhaseFilterDrop;
+        event.node = at_node;
+        event.peer = report.source;
+        event.isolevel = report.isolevel;
+        sink->emit(event);
+      }
+      continue;
+    }
+    kept.push_back(report);
   }
+  if (dropped > 0) obs::count("filter.dropped", static_cast<double>(dropped));
 }
 
 std::vector<IsolineReport> InNetworkFilter::filter(

@@ -35,9 +35,14 @@ class InNetworkFilter {
   /// two"). `ops` (if non-null) accumulates the comparison cost charged to
   /// the filtering node — each pairwise comparison is a handful of
   /// arithmetic operations, O(N_rep^2) network-wide (Section 4.2).
+  ///
+  /// `at_node` (>= 0) identifies the filtering node for observability:
+  /// when an obs::TraceSink is active, every dropped report is emitted as
+  /// a per-hop "drop" event carrying the node, the dropped report's
+  /// source and its isolevel — the event-by-event view of Fig. 13.
   void merge(std::vector<IsolineReport>& kept,
-             const std::vector<IsolineReport>& incoming,
-             double* ops = nullptr) const;
+             const std::vector<IsolineReport>& incoming, double* ops = nullptr,
+             int at_node = -1) const;
 
   /// Filter a whole set in one pass (order-dependent, first-wins).
   std::vector<IsolineReport> filter(std::vector<IsolineReport> reports,

@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace isomap {
+namespace {
+
+/// Per-entry observability: one "note" event per (node, isolevel) the
+/// self-selection admits, so a trace shows exactly which nodes joined
+/// which isoline (the raw material of Fig. 9's report-density view).
+void trace_selection(obs::TraceSink* sink, int node, double isolevel) {
+  if (sink == nullptr) return;
+  obs::TraceEvent event;
+  event.kind = "note";
+  event.phase = obs::kPhaseSelect;
+  event.node = node;
+  event.isolevel = isolevel;
+  sink->emit(event);
+}
+
+}  // namespace
 
 bool is_candidate(double reading, double isolevel, double epsilon) {
   return std::abs(reading - isolevel) <= epsilon;
@@ -27,6 +45,8 @@ std::vector<SelectionEntry> select_isoline_nodes_adaptive(
     double strip_width, std::vector<double>* ops_per_node) {
   const auto levels = query.isolevels();
   std::vector<SelectionEntry> selected;
+  obs::TraceSink* const sink = obs::trace();
+  std::size_t candidates = 0;
   if (ops_per_node)
     ops_per_node->assign(static_cast<std::size_t>(graph.size()), 0.0);
 
@@ -52,6 +72,7 @@ std::vector<SelectionEntry> select_isoline_nodes_adaptive(
     ops += static_cast<double>(levels.size());
     for (double lambda : levels) {
       if (!is_candidate(v, lambda, eps)) continue;
+      ++candidates;
       bool crossing = false;
       for (int nb : graph.neighbours(node)) {
         ops += 2.0;
@@ -61,10 +82,15 @@ std::vector<SelectionEntry> select_isoline_nodes_adaptive(
           break;
         }
       }
-      if (crossing) selected.push_back({node, lambda});
+      if (crossing) {
+        selected.push_back({node, lambda});
+        trace_selection(sink, node, lambda);
+      }
     }
     if (ops_per_node) (*ops_per_node)[static_cast<std::size_t>(node)] = ops;
   }
+  if (candidates > 0)
+    obs::count("select.candidates", static_cast<double>(candidates));
   return selected;
 }
 
@@ -74,6 +100,8 @@ std::vector<SelectionEntry> select_isoline_nodes(
   const auto levels = query.isolevels();
   const double eps = query.epsilon();
   std::vector<SelectionEntry> selected;
+  obs::TraceSink* const sink = obs::trace();
+  std::size_t candidates = 0;
 
   if (ops_per_node)
     ops_per_node->assign(static_cast<std::size_t>(graph.size()), 0.0);
@@ -84,6 +112,7 @@ std::vector<SelectionEntry> select_isoline_nodes(
     double ops = static_cast<double>(levels.size());  // Candidate scans.
     for (double lambda : levels) {
       if (!is_candidate(v, lambda, eps)) continue;
+      ++candidates;
       // Check the crossing condition against 1-hop neighbours.
       bool crossing = false;
       for (int nb : graph.neighbours(node)) {
@@ -94,10 +123,15 @@ std::vector<SelectionEntry> select_isoline_nodes(
           break;
         }
       }
-      if (crossing) selected.push_back({node, lambda});
+      if (crossing) {
+        selected.push_back({node, lambda});
+        trace_selection(sink, node, lambda);
+      }
     }
     if (ops_per_node) (*ops_per_node)[static_cast<std::size_t>(node)] = ops;
   }
+  if (candidates > 0)
+    obs::count("select.candidates", static_cast<double>(candidates));
   return selected;
 }
 

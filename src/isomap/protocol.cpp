@@ -6,6 +6,7 @@
 
 #include "isomap/regression.hpp"
 #include "net/channel.hpp"
+#include "obs/obs.hpp"
 
 namespace isomap {
 
@@ -24,6 +25,7 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
 
   double dissemination_bytes = 0.0;
   if (options_.account_query_dissemination) {
+    const obs::PhaseTimer timer(obs::kPhaseDisseminate);
     // The sink floods the query down the tree: one transmission per edge.
     for (int v = 0; v < n; ++v) {
       if (!tree.reachable(v) || v == tree.sink()) continue;
@@ -33,6 +35,7 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
   }
 
   // --- Step 1: distributed isoline-node self-selection (Def. 3.1). ---
+  obs::PhaseTimer select_timer(obs::kPhaseSelect);
   std::vector<double> selection_ops;
   const std::vector<SelectionEntry> selected =
       options_.adaptive_epsilon
@@ -42,6 +45,7 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
           : select_isoline_nodes(graph, readings, query, &selection_ops);
   for (int v = 0; v < n; ++v)
     if (graph.alive(v)) ledger.compute(v, selection_ops[static_cast<std::size_t>(v)]);
+  select_timer.stop();
 
   // --- Step 2: local measurement and report generation (Section 3.3). ---
   // Each distinct isoline node performs one neighbourhood exchange and one
@@ -54,6 +58,11 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
     distinct_nodes.push_back(entry.node);
   }
 
+  obs::count("select.entries", static_cast<double>(selected.size()));
+  obs::count("select.distinct_nodes",
+             static_cast<double>(distinct_nodes.size()));
+
+  obs::PhaseTimer fit_timer(obs::kPhaseGradientFit);
   double measurement_bytes = 0.0;
   std::vector<bool> has_gradient(static_cast<std::size_t>(n), false);
   for (int node : distinct_nodes) {
@@ -95,8 +104,10 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
       has_gradient[static_cast<std::size_t>(node)] = true;
     }
   }
+  fit_timer.stop();
 
   // --- Step 3: convergecast with in-network filtering (Section 3.5). ---
+  obs::PhaseTimer route_timer(obs::kPhaseReportRoute);
   std::vector<std::vector<IsolineReport>> buffer(static_cast<std::size_t>(n));
   int generated = 0;
   for (const auto& entry : selected) {
@@ -135,8 +146,12 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
     if (delivered) {
       auto& inbox = buffer[static_cast<std::size_t>(p)];
       if (query.enable_filtering) {
+        // The per-hop filter work is its own phase nested inside the
+        // convergecast: its compute charges (and per-report drop events)
+        // are attributed to filtering, not routing.
+        const obs::PhaseTimer filter_timer(obs::kPhaseFilter);
         double ops = 0.0;
-        filter.merge(inbox, outgoing, &ops);
+        filter.merge(inbox, outgoing, &ops, p);
         ledger.compute(p, ops);
       } else {
         inbox.insert(inbox.end(), outgoing.begin(), outgoing.end());
@@ -144,9 +159,12 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
     }
     outgoing.clear();
   }
+  route_timer.stop();
+  obs::count("reports.generated", generated);
 
   std::vector<IsolineReport> sink_reports =
       std::move(buffer[static_cast<std::size_t>(tree.sink())]);
+  obs::count("reports.delivered", static_cast<double>(sink_reports.size()));
   ContourMap map = ContourMapBuilder(deployment.bounds(), options_.regulation)
                        .build(sink_reports, query.isolevels());
   IsoMapResult result{std::move(sink_reports), std::move(map), 0, 0, 0, 0.0, 0.0, 0.0, 0.0, {}};

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace isomap {
 
 bool solve3x3(double a[3][3], double b[3], double x[3]) {
@@ -32,7 +34,16 @@ bool solve3x3(double a[3][3], double b[3], double x[3]) {
 
 std::optional<PlaneFit> fit_plane(const std::vector<FieldSample>& samples,
                                   double* ops) {
-  if (samples.size() < 3) return std::nullopt;
+  // Scope-size and degeneracy metrics for the RunSummary (one registry
+  // probe per fit; inert without an active obs scope).
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->add("regression.fits");
+    m->observe("regression.samples", static_cast<double>(samples.size()));
+  }
+  if (samples.size() < 3) {
+    obs::count("regression.degenerate");
+    return std::nullopt;
+  }
 
   // Accumulate the normal-equation sums of Eq. 2. Centre the coordinates
   // on the sample mean for numerical stability (the fitted gradient is
@@ -67,7 +78,10 @@ std::optional<PlaneFit> fit_plane(const std::vector<FieldSample>& samples,
   double a[3][3] = {{n, sx, sy}, {sx, sxx, sxy}, {sy, sxy, syy}};
   double b[3] = {sv, sxv, syv};
   double w[3];
-  if (!solve3x3(a, b, w)) return std::nullopt;
+  if (!solve3x3(a, b, w)) {
+    obs::count("regression.degenerate");
+    return std::nullopt;
+  }
 
   PlaneFit fit;
   fit.c1 = w[1];

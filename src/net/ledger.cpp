@@ -1,7 +1,11 @@
 #include "net/ledger.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace isomap {
 
@@ -12,23 +16,78 @@ Ledger::Ledger(int num_nodes) {
   ops_.assign(static_cast<std::size_t>(num_nodes), 0.0);
 }
 
+void Ledger::check_node(int node, const char* what) const {
+  if (node < 0 || node >= size())
+    throw std::out_of_range(std::string("Ledger::") + what + ": node " +
+                            std::to_string(node) + " outside [0, " +
+                            std::to_string(size()) + ")");
+}
+
+void Ledger::check_amount(double amount, const char* what) {
+  if (!(amount >= 0.0) || !std::isfinite(amount))
+    throw std::invalid_argument(std::string("Ledger::") + what +
+                                ": amount must be finite and >= 0, got " +
+                                std::to_string(amount));
+}
+
 void Ledger::transmit(int from, int to, double bytes) {
-  tx_bytes_.at(static_cast<std::size_t>(from)) += bytes;
-  rx_bytes_.at(static_cast<std::size_t>(to)) += bytes;
+  check_node(from, "transmit");
+  check_node(to, "transmit");
+  check_amount(bytes, "transmit");
+  tx_bytes_[static_cast<std::size_t>(from)] += bytes;
+  rx_bytes_[static_cast<std::size_t>(to)] += bytes;
+  if (obs::TraceSink* sink = obs::trace()) {
+    obs::TraceEvent event;
+    event.phase = obs::current_phase();
+    event.node = from;
+    event.peer = to;
+    event.tx_bytes = bytes;
+    event.rx_bytes = bytes;
+    sink->emit(event);
+  }
 }
 
 void Ledger::broadcast(int from, const std::vector<int>& receivers,
                        double bytes) {
-  tx_bytes_.at(static_cast<std::size_t>(from)) += bytes;
-  for (int r : receivers) rx_bytes_.at(static_cast<std::size_t>(r)) += bytes;
+  check_node(from, "broadcast");
+  check_amount(bytes, "broadcast");
+  for (int r : receivers) check_node(r, "broadcast");
+  tx_bytes_[static_cast<std::size_t>(from)] += bytes;
+  for (int r : receivers) rx_bytes_[static_cast<std::size_t>(r)] += bytes;
+  if (obs::TraceSink* sink = obs::trace()) {
+    obs::TraceEvent event;
+    event.phase = obs::current_phase();
+    event.node = from;
+    event.tx_bytes = bytes;
+    event.rx_bytes = bytes * static_cast<double>(receivers.size());
+    sink->emit(event);
+  }
 }
 
 void Ledger::transmit_lost(int from, double bytes) {
-  tx_bytes_.at(static_cast<std::size_t>(from)) += bytes;
+  check_node(from, "transmit_lost");
+  check_amount(bytes, "transmit_lost");
+  tx_bytes_[static_cast<std::size_t>(from)] += bytes;
+  if (obs::TraceSink* sink = obs::trace()) {
+    obs::TraceEvent event;
+    event.phase = obs::current_phase();
+    event.node = from;
+    event.tx_bytes = bytes;
+    sink->emit(event);
+  }
 }
 
 void Ledger::compute(int node, double ops) {
-  ops_.at(static_cast<std::size_t>(node)) += ops;
+  check_node(node, "compute");
+  check_amount(ops, "compute");
+  ops_[static_cast<std::size_t>(node)] += ops;
+  if (obs::TraceSink* sink = obs::trace()) {
+    obs::TraceEvent event;
+    event.phase = obs::current_phase();
+    event.node = node;
+    event.ops = ops;
+    sink->emit(event);
+  }
 }
 
 double Ledger::total_tx_bytes() const {
@@ -60,6 +119,9 @@ double Ledger::max_ops() const {
 }
 
 void Ledger::merge(const Ledger& other) {
+  // Aggregation of already-accounted ledgers (e.g. multi-round lifetime
+  // studies): no trace events here — the per-charge events were emitted
+  // when the costs were incurred, and re-emitting would double count.
   if (other.size() != size()) throw std::invalid_argument("Ledger size mismatch");
   for (std::size_t i = 0; i < tx_bytes_.size(); ++i) {
     tx_bytes_[i] += other.tx_bytes_[i];

@@ -9,6 +9,13 @@ namespace isomap {
 /// hop) and computation (arithmetic operations). Every protocol run —
 /// Iso-Map and all baselines — charges its costs here so Figs. 14-16 read
 /// off one uniform ledger, which the energy model then converts to Joules.
+///
+/// Every charge is validated (node ids in range, amounts finite and
+/// non-negative — std::out_of_range / std::invalid_argument otherwise)
+/// and, when an obs::TraceSink is active on this thread, mirrored as a
+/// "cost" trace event tagged with the current obs phase. Because the
+/// events are emitted at the charge site, summing a trace's cost events
+/// reconciles with the ledger totals by construction.
 class Ledger {
  public:
   explicit Ledger(int num_nodes);
@@ -44,6 +51,9 @@ class Ledger {
   void merge(const Ledger& other);
 
  private:
+  void check_node(int node, const char* what) const;
+  static void check_amount(double amount, const char* what);
+
   std::vector<double> tx_bytes_;
   std::vector<double> rx_bytes_;
   std::vector<double> ops_;

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace isomap::obs {
+
+/// Summary of a histogram's samples at snapshot time.
+struct HistogramSnapshot {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+
+  JsonValue to_json() const;
+};
+
+/// Named counters, gauges and histograms for one protocol run (or any
+/// other scope the caller chooses). Not thread-safe: a registry belongs
+/// to the run that owns it, matching the simulator's single-threaded
+/// execution model. Lookup is by string name; instrumentation sites are
+/// expected to be outside per-sample inner loops (charge aggregates, not
+/// individual arithmetic ops).
+class MetricsRegistry {
+ public:
+  /// Monotonic counter: accumulate `delta` (default 1).
+  void add(const std::string& name, double delta = 1.0) {
+    counters_[name] += delta;
+  }
+
+  /// Gauge: last-write-wins value.
+  void set(const std::string& name, double value) { gauges_[name] = value; }
+
+  /// Histogram: record one sample (samples are retained until snapshot).
+  void observe(const std::string& name, double value) {
+    histograms_[name].push_back(value);
+  }
+
+  double counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  /// Snapshot of one histogram (zeros when absent).
+  HistogramSnapshot histogram(const std::string& name) const;
+
+  const std::map<std::string, double>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  std::map<std::string, HistogramSnapshot> histogram_snapshots() const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  void clear();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}.
+  JsonValue to_json() const;
+
+ private:
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, std::vector<double>> histograms_;
+};
+
+/// Compute a snapshot from raw samples (exposed for tests).
+HistogramSnapshot summarize_samples(std::vector<double> samples);
+
+}  // namespace isomap::obs

@@ -1,0 +1,71 @@
+#include "obs/run_summary.hpp"
+
+namespace isomap::obs {
+
+JsonValue LedgerTotals::to_json() const {
+  JsonValue v = JsonValue::object();
+  v["nodes"] = JsonValue(nodes);
+  v["tx_bytes"] = JsonValue(tx_bytes);
+  v["rx_bytes"] = JsonValue(rx_bytes);
+  v["ops"] = JsonValue(ops);
+  v["mean_ops"] = JsonValue(mean_ops);
+  v["max_ops"] = JsonValue(max_ops);
+  return v;
+}
+
+double RunSummary::phase_seconds(const std::string& phase) const {
+  const auto it = phases.find(phase);
+  return it == phases.end() ? 0.0 : it->second.sum;
+}
+
+JsonValue RunSummary::to_json() const {
+  JsonValue v = JsonValue::object();
+  v["protocol"] = JsonValue(protocol);
+  v["wall_s"] = JsonValue(wall_s);
+  v["ledger"] = ledger.to_json();
+  JsonValue& ph = v["phases"];
+  ph = JsonValue::object();
+  for (const auto& [name, snap] : phases) ph[name] = snap.to_json();
+  JsonValue& cnt = v["counters"];
+  cnt = JsonValue::object();
+  for (const auto& [name, value] : counters) cnt[name] = JsonValue(value);
+  JsonValue& gg = v["gauges"];
+  gg = JsonValue::object();
+  for (const auto& [name, value] : gauges) gg[name] = JsonValue(value);
+  JsonValue& hs = v["histograms"];
+  hs = JsonValue::object();
+  for (const auto& [name, snap] : histograms) hs[name] = snap.to_json();
+  v["trace_events"] = JsonValue(trace_events);
+  return v;
+}
+
+RunSummary make_run_summary(std::string protocol,
+                            const MetricsRegistry& registry,
+                            const LedgerTotals& ledger, double wall_s,
+                            std::size_t trace_events) {
+  RunSummary summary;
+  summary.protocol = std::move(protocol);
+  summary.wall_s = wall_s;
+  summary.ledger = ledger;
+  summary.counters = registry.counters();
+  summary.gauges = registry.gauges();
+  summary.trace_events = trace_events;
+  static constexpr const char kPrefix[] = "phase.";
+  static constexpr const char kSuffix[] = ".seconds";
+  for (auto& [name, snap] : registry.histogram_snapshots()) {
+    const std::size_t prefix_len = sizeof kPrefix - 1;
+    const std::size_t suffix_len = sizeof kSuffix - 1;
+    if (name.size() > prefix_len + suffix_len &&
+        name.compare(0, prefix_len, kPrefix) == 0 &&
+        name.compare(name.size() - suffix_len, suffix_len, kSuffix) == 0) {
+      summary.phases[name.substr(prefix_len,
+                                 name.size() - prefix_len - suffix_len)] =
+          snap;
+    } else {
+      summary.histograms[name] = snap;
+    }
+  }
+  return summary;
+}
+
+}  // namespace isomap::obs

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace isomap::obs {
+
+/// Flat copy of a run's Ledger totals. Kept as plain numbers (rather
+/// than a Ledger reference) so the obs library stays below the net layer
+/// in the dependency graph — net/Ledger itself links against obs to emit
+/// cost events.
+struct LedgerTotals {
+  int nodes = 0;
+  double tx_bytes = 0.0;
+  double rx_bytes = 0.0;
+  double ops = 0.0;
+  double mean_ops = 0.0;
+  double max_ops = 0.0;
+
+  JsonValue to_json() const;
+};
+
+/// Everything one protocol run reports about itself: total wall time,
+/// per-phase timing histograms (count / sum / p50 / p95 / max seconds),
+/// the ledger breakdown and a full metric snapshot. Every *Run bundle
+/// returned by sim/runners carries one; to_json() is the machine-readable
+/// form benches write as BENCH_*.json.
+struct RunSummary {
+  std::string protocol;
+  double wall_s = 0.0;
+  LedgerTotals ledger;
+  /// Phase label -> timing summary (seconds), from the PhaseTimer
+  /// histograms ("phase.<label>.seconds").
+  std::map<std::string, HistogramSnapshot> phases;
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  /// Non-phase histograms (e.g. regression sample counts).
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::size_t trace_events = 0;  ///< 0 when tracing was disabled.
+
+  /// Sum of one phase's recorded seconds (0 when the phase never ran).
+  double phase_seconds(const std::string& phase) const;
+
+  JsonValue to_json() const;
+};
+
+/// Assemble a summary from a run's registry. Histograms named
+/// "phase.<label>.seconds" become `phases[<label>]`; everything else is
+/// copied verbatim.
+RunSummary make_run_summary(std::string protocol,
+                            const MetricsRegistry& registry,
+                            const LedgerTotals& ledger, double wall_s,
+                            std::size_t trace_events = 0);
+
+}  // namespace isomap::obs

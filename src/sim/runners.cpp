@@ -1,53 +1,111 @@
 #include "sim/runners.hpp"
 
-namespace isomap {
+#include <chrono>
+#include <utility>
 
-IsoMapRun run_isomap(const Scenario& scenario, const IsoMapOptions& options) {
+#include "obs/obs.hpp"
+
+namespace isomap {
+namespace {
+
+/// Runs `body` under a fresh metrics registry (plus the caller's trace
+/// sink, if any) and assembles the RunSummary afterwards. The registry
+/// lives on the stack: observability state never leaks between runs.
+template <typename Body>
+auto observed_run(const char* protocol, const Scenario& scenario,
+                  obs::TraceSink* trace, Body&& body) {
   Ledger ledger(scenario.deployment.size());
-  IsoMapProtocol protocol(options);
-  IsoMapResult result = protocol.run(scenario.readings, scenario.deployment,
-                                     scenario.graph, scenario.tree, ledger);
-  return {std::move(result), std::move(ledger)};
+  obs::MetricsRegistry metrics;
+  const std::size_t events_before = trace ? trace->events() : 0;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = [&] {
+    const obs::ObsScope scope(&metrics, trace);
+    return body(ledger);
+  }();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  obs::RunSummary summary = obs::make_run_summary(
+      protocol, metrics, ledger_totals(ledger), wall_s,
+      trace ? trace->events() - events_before : 0);
+  return std::make_tuple(std::move(result), std::move(ledger),
+                         std::move(summary));
 }
 
-IsoMapRun run_isomap(const Scenario& scenario, int num_levels) {
+}  // namespace
+
+obs::LedgerTotals ledger_totals(const Ledger& ledger) {
+  obs::LedgerTotals totals;
+  totals.nodes = ledger.size();
+  totals.tx_bytes = ledger.total_tx_bytes();
+  totals.rx_bytes = ledger.total_rx_bytes();
+  totals.ops = ledger.total_ops();
+  totals.mean_ops = ledger.mean_ops();
+  totals.max_ops = ledger.max_ops();
+  return totals;
+}
+
+IsoMapRun run_isomap(const Scenario& scenario, const IsoMapOptions& options,
+                     obs::TraceSink* trace) {
+  auto [result, ledger, summary] =
+      observed_run("isomap", scenario, trace, [&](Ledger& l) {
+        IsoMapProtocol protocol(options);
+        return protocol.run(scenario.readings, scenario.deployment,
+                            scenario.graph, scenario.tree, l);
+      });
+  return {std::move(result), std::move(ledger), std::move(summary)};
+}
+
+IsoMapRun run_isomap(const Scenario& scenario, int num_levels,
+                     obs::TraceSink* trace) {
   IsoMapOptions options;
   options.query = default_query(scenario.field, num_levels);
-  return run_isomap(scenario, options);
+  return run_isomap(scenario, options, trace);
 }
 
-TinyDBRun run_tinydb(const Scenario& scenario, TinyDBOptions options) {
-  Ledger ledger(scenario.deployment.size());
-  TinyDBProtocol protocol(options);
-  TinyDBResult result = protocol.run(scenario.deployment, scenario.readings,
-                                     scenario.tree, ledger);
-  return {std::move(result), std::move(ledger)};
+TinyDBRun run_tinydb(const Scenario& scenario, TinyDBOptions options,
+                     obs::TraceSink* trace) {
+  auto [result, ledger, summary] =
+      observed_run("tinydb", scenario, trace, [&](Ledger& l) {
+        TinyDBProtocol protocol(options);
+        return protocol.run(scenario.deployment, scenario.readings,
+                            scenario.tree, l);
+      });
+  return {std::move(result), std::move(ledger), std::move(summary)};
 }
 
-InlrRun run_inlr(const Scenario& scenario, InlrOptions options) {
-  Ledger ledger(scenario.deployment.size());
-  InlrProtocol protocol(options);
-  InlrResult result = protocol.run(scenario.deployment, scenario.readings,
-                                   scenario.tree, ledger);
-  return {result, std::move(ledger)};
+InlrRun run_inlr(const Scenario& scenario, InlrOptions options,
+                 obs::TraceSink* trace) {
+  auto [result, ledger, summary] =
+      observed_run("inlr", scenario, trace, [&](Ledger& l) {
+        InlrProtocol protocol(options);
+        return protocol.run(scenario.deployment, scenario.readings,
+                            scenario.tree, l);
+      });
+  return {std::move(result), std::move(ledger), std::move(summary)};
 }
 
-EScanRun run_escan(const Scenario& scenario, EScanOptions options) {
-  Ledger ledger(scenario.deployment.size());
-  EScanProtocol protocol(options);
-  EScanResult result = protocol.run(scenario.deployment, scenario.readings,
-                                    scenario.tree, ledger);
-  return {result, std::move(ledger)};
+EScanRun run_escan(const Scenario& scenario, EScanOptions options,
+                   obs::TraceSink* trace) {
+  auto [result, ledger, summary] =
+      observed_run("escan", scenario, trace, [&](Ledger& l) {
+        EScanProtocol protocol(options);
+        return protocol.run(scenario.deployment, scenario.readings,
+                            scenario.tree, l);
+      });
+  return {std::move(result), std::move(ledger), std::move(summary)};
 }
 
 SuppressionRun run_suppression(const Scenario& scenario,
-                               SuppressionOptions options) {
-  Ledger ledger(scenario.deployment.size());
-  SuppressionProtocol protocol(options);
-  SuppressionResult result =
-      protocol.run(scenario.deployment, scenario.readings, scenario.graph,
-                   scenario.tree, ledger);
-  return {result, std::move(ledger)};
+                               SuppressionOptions options,
+                               obs::TraceSink* trace) {
+  auto [result, ledger, summary] =
+      observed_run("suppression", scenario, trace, [&](Ledger& l) {
+        SuppressionProtocol protocol(options);
+        return protocol.run(scenario.deployment, scenario.readings,
+                            scenario.graph, scenario.tree, l);
+      });
+  return {std::move(result), std::move(ledger), std::move(summary)};
 }
 
 }  // namespace isomap

@@ -31,6 +31,7 @@ class Table {
   std::size_t num_rows() const { return rows_.size(); }
   std::size_t num_cols() const { return headers_.size(); }
   const std::string& at(std::size_t row, std::size_t col) const;
+  const std::vector<std::string>& headers() const { return headers_; }
 
  private:
   std::vector<std::string> headers_;

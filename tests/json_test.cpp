@@ -1,0 +1,139 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace isomap {
+namespace {
+
+TEST(JsonValue, DefaultIsNull) {
+  const JsonValue v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.dump(), "null");
+}
+
+TEST(JsonValue, Scalars) {
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(-7LL).dump(), "-7");
+  EXPECT_EQ(JsonValue(std::size_t{9}).dump(), "9");
+  EXPECT_EQ(JsonValue(2.5).dump(), "2.5");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonValue, IntegralDoublesHaveNoDecimalPoint) {
+  EXPECT_EQ(json_number(3.0), "3");
+  EXPECT_EQ(json_number(-100.0), "-100");
+  EXPECT_EQ(json_number(0.0), "0");
+}
+
+TEST(JsonValue, NumbersRoundTripThroughDump) {
+  for (double d : {0.1, 1e-9, 123456.789, -2.5e17, 3.14159265358979}) {
+    const auto parsed = JsonValue::parse(json_number(d));
+    ASSERT_TRUE(parsed.has_value()) << json_number(d);
+    EXPECT_DOUBLE_EQ(parsed->as_number(), d);
+  }
+}
+
+TEST(JsonValue, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(JsonValue(std::nan("")).dump(), "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+}
+
+TEST(JsonValue, StringEscaping) {
+  EXPECT_EQ(JsonValue("a\"b\\c").dump(), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(JsonValue("line\nbreak\ttab").dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(JsonValue(std::string("\x01")).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonValue, ObjectKeepsInsertionOrder) {
+  JsonValue v = JsonValue::object();
+  v["zeta"] = JsonValue(1);
+  v["alpha"] = JsonValue(2);
+  v["mid"] = JsonValue(3);
+  EXPECT_EQ(v.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(JsonValue, OperatorBracketConvertsNullToObject) {
+  JsonValue v;  // null
+  v["key"] = JsonValue("value");
+  EXPECT_TRUE(v.is_object());
+  ASSERT_NE(v.find("key"), nullptr);
+  EXPECT_EQ(v.find("key")->as_string(), "value");
+  EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(JsonValue, ArrayAndNesting) {
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue(1));
+  JsonValue inner = JsonValue::object();
+  inner["k"] = JsonValue(true);
+  arr.push_back(std::move(inner));
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.dump(), "[1,{\"k\":true}]");
+}
+
+TEST(JsonValue, PrettyPrint) {
+  JsonValue v = JsonValue::object();
+  v["a"] = JsonValue(1);
+  EXPECT_EQ(v.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonParse, Document) {
+  const auto v = JsonValue::parse(
+      R"({"s": "x\ny", "n": -1.5e2, "b": true, "z": null, "a": [1, 2]})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string_or("s", ""), "x\ny");
+  EXPECT_DOUBLE_EQ(v->number_or("n", 0.0), -150.0);
+  ASSERT_NE(v->find("b"), nullptr);
+  EXPECT_TRUE(v->find("b")->as_bool());
+  EXPECT_TRUE(v->find("z")->is_null());
+  ASSERT_TRUE(v->find("a")->is_array());
+  EXPECT_DOUBLE_EQ(v->find("a")->at(1).as_number(), 2.0);
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  const auto v = JsonValue::parse(R"("caf\u00e9")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "caf\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::parse("").has_value());
+  EXPECT_FALSE(JsonValue::parse("{").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1,]").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(JsonValue::parse("01").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated").has_value());
+  EXPECT_FALSE(JsonValue::parse("true false").has_value());  // trailing junk
+  EXPECT_FALSE(JsonValue::parse("nul").has_value());
+}
+
+TEST(JsonParse, RoundTripsOwnOutput) {
+  JsonValue v = JsonValue::object();
+  v["name"] = JsonValue("iso\"map\n");
+  v["vals"] = JsonValue::array();
+  v["vals"].push_back(JsonValue(0.25));
+  v["vals"].push_back(JsonValue(nullptr));
+  for (int indent : {-1, 2}) {
+    const auto back = JsonValue::parse(v.dump(indent));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->dump(), v.dump());
+  }
+}
+
+TEST(JsonParse, DeepNestingIsBounded) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(JsonValue::parse(deep).has_value());  // depth cap
+  std::string ok = std::string(50, '[') + std::string(50, ']');
+  EXPECT_TRUE(JsonValue::parse(ok).has_value());
+}
+
+}  // namespace
+}  // namespace isomap

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "net/comm_graph.hpp"
 #include "net/deployment.hpp"
@@ -227,6 +229,42 @@ TEST(Ledger, MergeAddsAndMismatchThrows) {
   a.merge(b);
   EXPECT_DOUBLE_EQ(a.tx_bytes(0), 3.0);
   EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(Ledger, RejectsOutOfRangeNodes) {
+  Ledger ledger(3);
+  EXPECT_THROW(ledger.transmit(-1, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(ledger.transmit(0, 3, 1.0), std::out_of_range);
+  EXPECT_THROW(ledger.broadcast(3, {0}, 1.0), std::out_of_range);
+  EXPECT_THROW(ledger.broadcast(0, {1, -2}, 1.0), std::out_of_range);
+  EXPECT_THROW(ledger.transmit_lost(7, 1.0), std::out_of_range);
+  EXPECT_THROW(ledger.compute(-1, 1.0), std::out_of_range);
+  // A rejected charge must leave the ledger untouched.
+  EXPECT_DOUBLE_EQ(ledger.total_tx_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.total_rx_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.total_ops(), 0.0);
+}
+
+TEST(Ledger, RejectsNegativeAndNonFiniteAmounts) {
+  Ledger ledger(2);
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(ledger.transmit(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(ledger.transmit(0, 1, nan), std::invalid_argument);
+  EXPECT_THROW(ledger.broadcast(0, {1}, inf), std::invalid_argument);
+  EXPECT_THROW(ledger.transmit_lost(0, -0.5), std::invalid_argument);
+  EXPECT_THROW(ledger.compute(0, nan), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(ledger.total_tx_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.total_ops(), 0.0);
+  // Zero-byte charges are legal (e.g. empty-payload control messages).
+  ledger.transmit(0, 1, 0.0);
+  EXPECT_DOUBLE_EQ(ledger.total_tx_bytes(), 0.0);
+}
+
+TEST(Ledger, RejectsNegativeSize) {
+  EXPECT_THROW(Ledger(-5), std::invalid_argument);
+  // A zero-node ledger is legal (used by the energy model's edge cases).
+  EXPECT_EQ(Ledger(0).size(), 0);
 }
 
 class NetProperty : public ::testing::TestWithParam<std::uint64_t> {};

@@ -1,0 +1,146 @@
+// trace_summary: aggregate a JSONL run trace (produced by an
+// obs::TraceSink, e.g. `quickstart --trace=trace.jsonl`) into per-phase
+// and per-isolevel cost tables.
+//
+// Usage: trace_summary <trace.jsonl> [--csv=<out.csv>]
+//
+// Per-phase: event count, transmitted/received bytes, arithmetic ops,
+// filter drops and wall time (from "phase" events). Per-isolevel: how
+// many selection events and filter drops each isolevel produced — the
+// event-by-event view behind Figs. 9 and 13. The grand totals row
+// reconciles with the run's Ledger totals by construction (every ledger
+// charge is mirrored as one "cost" event).
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct PhaseAgg {
+  long long events = 0;
+  long long drops = 0;
+  double tx_bytes = 0.0;
+  double rx_bytes = 0.0;
+  double ops = 0.0;
+  double wall_s = 0.0;
+};
+
+struct LevelAgg {
+  long long selections = 0;
+  long long drops = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const isomap::CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::cerr << "usage: trace_summary <trace.jsonl> [--csv=<out.csv>]\n";
+    return 2;
+  }
+  const std::string path = args.positional().front();
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "trace_summary: cannot open " << path << "\n";
+    return 1;
+  }
+
+  std::map<std::string, PhaseAgg> phases;
+  std::map<double, LevelAgg> levels;
+  PhaseAgg total;
+  long long lines = 0, bad_lines = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    const auto parsed = isomap::JsonValue::parse(line);
+    if (!parsed || !parsed->is_object()) {
+      ++bad_lines;
+      continue;
+    }
+    const std::string kind = parsed->string_or("kind", "cost");
+    const std::string phase = parsed->string_or("phase", "unphased");
+    PhaseAgg& agg = phases[phase];
+    ++agg.events;
+    ++total.events;
+    if (kind == "phase") {
+      const double wall = parsed->number_or("wall_s", 0.0);
+      agg.wall_s += wall;
+      total.wall_s += wall;
+      continue;
+    }
+    const double tx = parsed->number_or("tx_bytes", 0.0);
+    const double rx = parsed->number_or("rx_bytes", 0.0);
+    const double ops = parsed->number_or("ops", 0.0);
+    agg.tx_bytes += tx;
+    agg.rx_bytes += rx;
+    agg.ops += ops;
+    total.tx_bytes += tx;
+    total.rx_bytes += rx;
+    total.ops += ops;
+    const isomap::JsonValue* level = parsed->find("isolevel");
+    if (kind == "drop") {
+      ++agg.drops;
+      ++total.drops;
+      if (level && level->is_number()) ++levels[level->as_number()].drops;
+    } else if (kind == "note" && level && level->is_number()) {
+      ++levels[level->as_number()].selections;
+    }
+  }
+
+  if (lines == 0) {
+    std::cerr << "trace_summary: " << path << " holds no events\n";
+    return 1;
+  }
+
+  std::cout << "Trace: " << path << " (" << lines << " events";
+  if (bad_lines > 0) std::cout << ", " << bad_lines << " unparseable";
+  std::cout << ")\n\n";
+
+  isomap::Table table({"phase", "events", "tx_bytes", "rx_bytes", "ops",
+                       "drops", "wall_ms"});
+  for (const auto& [phase, agg] : phases) {
+    table.row()
+        .cell(phase)
+        .cell(agg.events)
+        .cell(agg.tx_bytes, 1)
+        .cell(agg.rx_bytes, 1)
+        .cell(agg.ops, 1)
+        .cell(agg.drops)
+        .cell(agg.wall_s * 1000.0, 3);
+  }
+  table.row()
+      .cell("TOTAL")
+      .cell(total.events)
+      .cell(total.tx_bytes, 1)
+      .cell(total.rx_bytes, 1)
+      .cell(total.ops, 1)
+      .cell(total.drops)
+      .cell(total.wall_s * 1000.0, 3);
+  table.print(std::cout);
+
+  if (!levels.empty()) {
+    std::cout << "\nPer-isolevel activity:\n";
+    isomap::Table by_level({"isolevel", "selections", "filter_drops"});
+    for (const auto& [level, agg] : levels) {
+      by_level.row().cell(level, 3).cell(agg.selections).cell(agg.drops);
+    }
+    by_level.print(std::cout);
+  }
+
+  if (const auto csv = args.get("csv")) {
+    if (!table.save_csv(*csv)) {
+      std::cerr << "trace_summary: cannot write " << *csv << "\n";
+      return 1;
+    }
+    std::cout << "\nWrote " << *csv << "\n";
+  }
+  return 0;
+}
