@@ -1,0 +1,207 @@
+// Extension: chaos engineering for the convergecast — mid-run node
+// crashes, correlated region blackouts and Gilbert–Elliott bursty links,
+// with the self-healing routing repair on and off.
+// Expectation: with self-healing, delivery degrades gracefully (>= ~90%
+// of fault-free deliveries at 10% mid-run crashes) at a small repair
+// energy premium; without it every crash silently swallows a subtree.
+// Every run is checked against the loss-accounting identity
+//   generated == delivered + filtered + lost_channel + lost_crash
+// and the bench exits non-zero on any violation.
+
+#include "bench/bench_common.hpp"
+
+using namespace isomap;
+using namespace isomap::bench;
+
+namespace {
+
+int identity_violations = 0;
+
+/// Every generated report must be delivered, filtered or accounted as
+/// lost — a silent loss is a bug, not a data point.
+void check_identity(const IsoMapRun& run) {
+  const auto& r = run.result;
+  const int accounted = r.delivered_reports + r.filtered_reports +
+                        r.lost_channel_reports + r.lost_crash_reports;
+  if (accounted != r.generated_reports) {
+    std::cerr << "[ext_chaos] ACCOUNTING VIOLATION: generated="
+              << r.generated_reports << " but accounted=" << accounted
+              << " (delivered=" << r.delivered_reports
+              << " filtered=" << r.filtered_reports
+              << " lost_channel=" << r.lost_channel_reports
+              << " lost_crash=" << r.lost_crash_reports << ")\n";
+    ++identity_violations;
+  }
+}
+
+IsoMapRun chaos_run(const Scenario& s, double crash_fraction,
+                    std::uint64_t seed, bool self_healing = true,
+                    const std::optional<GilbertElliottParams>& burst = {},
+                    int retries = 3) {
+  IsoMapOptions options = isomap_options(s, 4);
+  options.fault.crash_fraction = crash_fraction;
+  options.fault.seed = seed * 1013;
+  options.fault.self_healing = self_healing;
+  options.link_burst = burst;
+  options.link_retries = retries;
+  options.link_seed = seed * 977;
+  const IsoMapRun run = run_isomap(s, options);
+  check_identity(run);
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 2500;
+  const int kSeeds = argc > 2 ? std::atoi(argv[2]) : 3;
+  const Mica2Model energy;
+
+  banner("Chaos (a)",
+         "mid-run crash sweep, self-healing routing (nodes = " +
+             std::to_string(nodes) + ")",
+         "delivery ratio >= ~90% at 10% crashes; repair cost a few KB");
+  Table a({"crash_pct", "crashed", "delivered_ratio_pct", "lost_crash",
+           "lost_channel", "repairs", "repair_KB", "accuracy_pct",
+           "mean_energy_uJ"});
+  for (const double crash : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    RunningStats crashed, ratio, lcrash, lchan, repairs, rkb, acc, uj;
+    for (std::uint64_t trial = 1;
+         trial <= static_cast<std::uint64_t>(kSeeds); ++trial) {
+      const std::uint64_t seed = trial_seed(trial);
+      const Scenario s = harbor_scenario(nodes, seed);
+      const IsoMapRun clean = chaos_run(s, 0.0, seed);
+      const IsoMapRun run = crash > 0.0 ? chaos_run(s, crash, seed) : clean;
+      crashed.add(run.result.crashed_nodes);
+      ratio.add(clean.result.delivered_reports
+                    ? 100.0 * run.result.delivered_reports /
+                          clean.result.delivered_reports
+                    : 0.0);
+      lcrash.add(run.result.lost_crash_reports);
+      lchan.add(run.result.lost_channel_reports);
+      repairs.add(run.result.route_repairs);
+      rkb.add(run.result.repair_traffic_bytes / 1024.0);
+      acc.add(mapping_accuracy(run.result.map, s.field,
+                               default_query(s.field, 4).isolevels(), 70) *
+              100.0);
+      uj.add(energy.mean_node_energy_j(run.ledger) * 1e6);
+    }
+    a.row()
+        .cell(crash * 100.0, 0)
+        .cell(crashed.mean(), 1)
+        .cell(ratio.mean(), 1)
+        .cell(lcrash.mean(), 1)
+        .cell(lchan.mean(), 1)
+        .cell(repairs.mean(), 1)
+        .cell(rkb.mean(), 2)
+        .cell(acc.mean(), 1)
+        .cell(uj.mean(), 2);
+  }
+  emit_table("ext_chaos_crash", a);
+
+  banner("Chaos (b)", "bursty links (Gilbert-Elliott) x mid-run crashes",
+         "burst losses beyond ARQ's reach shift losses from crash to "
+         "channel; accounting identity holds everywhere");
+  const GilbertElliottParams kMildBurst{0.02, 0.25, 0.01, 0.8};
+  const GilbertElliottParams kHeavyBurst{0.05, 0.2, 0.02, 0.9};
+  Table b({"channel", "crash_pct", "delivered", "lost_crash", "lost_channel",
+           "retries_per_send", "accuracy_pct"});
+  const std::pair<const char*, std::optional<GilbertElliottParams>>
+      channels[] = {{"clean", {}}, {"mild_burst", kMildBurst},
+                    {"heavy_burst", kHeavyBurst}};
+  for (const auto& [label, burst] : channels) {
+    for (const double crash : {0.0, 0.10}) {
+      RunningStats delivered, lcrash, lchan, rps, acc;
+      for (std::uint64_t trial = 1;
+           trial <= static_cast<std::uint64_t>(kSeeds); ++trial) {
+        const std::uint64_t seed = trial_seed(trial);
+        const Scenario s = harbor_scenario(nodes, seed);
+        const IsoMapRun run = chaos_run(s, crash, seed, true, burst);
+        delivered.add(run.result.delivered_reports);
+        lcrash.add(run.result.lost_crash_reports);
+        lchan.add(run.result.lost_channel_reports);
+        const auto& counters = run.summary.counters;
+        const auto it = counters.find("channel.retries");
+        const double sends =
+            std::max(1.0, static_cast<double>(run.result.generated_reports));
+        rps.add((it != counters.end() ? it->second : 0.0) / sends);
+        acc.add(mapping_accuracy(run.result.map, s.field,
+                                 default_query(s.field, 4).isolevels(), 70) *
+                100.0);
+      }
+      b.row()
+          .cell(label)
+          .cell(crash * 100.0, 0)
+          .cell(delivered.mean(), 1)
+          .cell(lcrash.mean(), 1)
+          .cell(lchan.mean(), 1)
+          .cell(rps.mean(), 2)
+          .cell(acc.mean(), 1);
+    }
+  }
+  emit_table("ext_chaos_burst", b);
+
+  banner("Chaos (c)", "region blackout + self-healing ablation",
+         "self-healing recovers reports routed around the dead region; a "
+         "static tree loses every subtree behind it");
+  Table c({"config", "delivered", "lost_crash", "repairs", "repair_KB",
+           "accuracy_pct"});
+  const struct {
+    const char* label;
+    bool blackout;
+    double crash;
+    bool heal;
+  } configs[] = {
+      {"fault_free", false, 0.0, true},
+      {"blackout_healed", true, 0.0, true},
+      {"blackout_static", true, 0.0, false},
+      {"blackout+crash_healed", true, 0.05, true},
+      {"blackout+crash_static", true, 0.05, false},
+  };
+  for (const auto& cfg : configs) {
+    RunningStats delivered, lcrash, repairs, rkb, acc;
+    for (std::uint64_t trial = 1;
+         trial <= static_cast<std::uint64_t>(kSeeds); ++trial) {
+      const std::uint64_t seed = trial_seed(trial);
+      const Scenario s = harbor_scenario(nodes, seed);
+      IsoMapOptions options = isomap_options(s, 4);
+      options.fault.crash_fraction = cfg.crash;
+      options.fault.seed = seed * 1013;
+      options.fault.self_healing = cfg.heal;
+      if (cfg.blackout) {
+        options.fault.blackout = true;
+        // Off-centre disc (~1/8 of the field side as radius) so the sink
+        // survives but a populated region dies mid-run.
+        options.fault.blackout_center = {s.config.field_side * 0.7,
+                                         s.config.field_side * 0.7};
+        options.fault.blackout_radius = s.config.field_side * 0.125;
+        options.fault.blackout_time = 0.4;
+      }
+      const IsoMapRun run = run_isomap(s, options);
+      check_identity(run);
+      delivered.add(run.result.delivered_reports);
+      lcrash.add(run.result.lost_crash_reports);
+      repairs.add(run.result.route_repairs);
+      rkb.add(run.result.repair_traffic_bytes / 1024.0);
+      acc.add(mapping_accuracy(run.result.map, s.field,
+                               default_query(s.field, 4).isolevels(), 70) *
+              100.0);
+    }
+    c.row()
+        .cell(cfg.label)
+        .cell(delivered.mean(), 1)
+        .cell(lcrash.mean(), 1)
+        .cell(repairs.mean(), 1)
+        .cell(rkb.mean(), 2)
+        .cell(acc.mean(), 1);
+  }
+  emit_table("ext_chaos_blackout", c);
+
+  if (identity_violations > 0) {
+    std::cerr << "[ext_chaos] " << identity_violations
+              << " accounting violation(s)\n";
+    return 1;
+  }
+  std::cout << "[ext_chaos] accounting identity held across all runs\n";
+  return 0;
+}

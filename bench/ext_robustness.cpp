@@ -12,13 +12,13 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  const int kSeeds = 3;
+  const int kSeeds = 5;
   const Mica2Model energy;
 
   banner("Extension (a)", "link loss with ARQ (retries = 3)",
          "delivery recovered up to ~30% loss; tx energy premium bounded");
-  Table a({"loss_pct", "delivered_reports", "accuracy_pct",
-           "tx_KB", "mean_energy_uJ"});
+  Table a({"loss_pct", "delivered_reports", "delivered_sd", "accuracy_pct",
+           "accuracy_sd", "tx_KB", "mean_energy_uJ"});
   for (const double loss : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
     RunningStats delivered, acc, txkb, uj;
     for (std::uint64_t trial = 1; trial <= kSeeds; ++trial) {
@@ -40,7 +40,9 @@ int main() {
     a.row()
         .cell(loss * 100.0, 0)
         .cell(delivered.mean(), 1)
+        .cell(delivered.stddev(), 1)
         .cell(acc.mean(), 1)
+        .cell(acc.stddev(), 1)
         .cell(txkb.mean(), 2)
         .cell(uj.mean(), 2);
   }
@@ -50,7 +52,7 @@ int main() {
          "mild noise absorbed by the regression; heavy noise floods the "
          "border region with spurious isoline nodes");
   Table b({"noise_std_m", "generated_reports", "sink_reports",
-           "accuracy_pct"});
+           "accuracy_pct", "accuracy_sd"});
   for (const double noise : {0.0, 0.05, 0.1, 0.2, 0.4, 0.8}) {
     RunningStats generated, sunk, acc;
     for (std::uint64_t trial = 1; trial <= kSeeds; ++trial) {
@@ -71,13 +73,15 @@ int main() {
         .cell(noise, 2)
         .cell(generated.mean(), 1)
         .cell(sunk.mean(), 1)
-        .cell(acc.mean(), 1);
+        .cell(acc.mean(), 1)
+        .cell(acc.stddev(), 1);
   }
   emit_table("ext_robustness_noise", b);
 
   banner("Extension (c)", "localization error (std dev, field units)",
          "fidelity falls as error approaches the report spacing s_d = 4");
-  Table c({"pos_err_std", "accuracy_pct", "hausdorff_norm"});
+  Table c({"pos_err_std", "accuracy_pct", "accuracy_sd", "hausdorff_norm",
+           "hausdorff_sd"});
   for (const double err : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0}) {
     RunningStats acc, haus;
     for (std::uint64_t trial = 1; trial <= kSeeds; ++trial) {
@@ -94,7 +98,12 @@ int main() {
           isoline_hausdorff(run.result.map, s.field, levels, 120, 0.5);
       if (std::isfinite(h)) haus.add(h / 50.0);
     }
-    c.row().cell(err, 2).cell(acc.mean(), 1).cell(haus.mean(), 4);
+    c.row()
+        .cell(err, 2)
+        .cell(acc.mean(), 1)
+        .cell(acc.stddev(), 1)
+        .cell(haus.mean(), 4)
+        .cell(haus.stddev(), 4);
   }
   emit_table("ext_robustness_localization", c);
   return 0;

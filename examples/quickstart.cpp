@@ -2,12 +2,16 @@
 // print the reconstructed isobath contour map next to the ground truth.
 //
 // Usage: quickstart [--nodes=2500] [--side=50] [--levels=4] [--seed=1]
+//                   [--crash=0.1] [--burst] [--no-heal]
 //                   [--trace=<run.jsonl>] [--summary=<summary.json>]
 //
 // --trace streams every ledger charge, phase timing, selection and filter
 // drop as one JSON object per line (inspect with tools/trace_summary).
 // --summary writes the run's obs::RunSummary (per-phase timing histograms,
 // counters, ledger totals) as a single JSON document.
+// --crash kills that fraction of nodes mid-convergecast (self-healing
+// routing repairs the tree unless --no-heal); --burst switches the link
+// to a Gilbert-Elliott bursty-loss channel. See docs/ROBUSTNESS.md.
 
 #include <fstream>
 #include <iostream>
@@ -50,7 +54,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  const IsoMapRun run = run_isomap(scenario, levels, trace.get());
+  IsoMapOptions options = isomap_options(scenario, levels);
+  options.fault.crash_fraction = args.get_double("crash", 0.0);
+  options.fault.self_healing = !args.has("no-heal");
+  if (args.has("burst")) {
+    options.link_burst = GilbertElliottParams{};  // Mild default bursts.
+    options.link_seed = config.seed * 977;
+  }
+  const IsoMapRun run = run_isomap(scenario, options, trace.get());
   const ContourQuery query = default_query(scenario.field, levels);
 
   if (trace) {
@@ -75,6 +86,15 @@ int main(int argc, char** argv) {
             << " (after in-network filtering)"
             << "\nReport traffic:         "
             << run.result.report_traffic_bytes / 1024.0 << " KB\n";
+  if (run.result.crashed_nodes > 0 || run.result.lost_channel_reports > 0) {
+    std::cout << "Nodes crashed mid-run:  " << run.result.crashed_nodes
+              << "\nReports lost (crash):   " << run.result.lost_crash_reports
+              << "\nReports lost (channel): "
+              << run.result.lost_channel_reports
+              << "\nTree repairs:           " << run.result.route_repairs
+              << " (" << run.result.repair_traffic_bytes / 1024.0
+              << " KB of beacons)\n";
+  }
 
   const double accuracy = mapping_accuracy(run.result.map, scenario.field,
                                            query.isolevels(), 100);

@@ -26,10 +26,8 @@ TinyDBResult TinyDBProtocol::run(const Deployment& deployment,
 
   // Every alive, reachable node reports; the report is forwarded hop by
   // hop along the tree with no aggregation.
-  Channel channel = options_.link_loss > 0.0
-                        ? Channel(options_.link_loss, options_.link_retries,
-                                  Rng(options_.link_seed))
-                        : Channel();
+  Channel channel = Channel::make(options_.link_loss, options_.link_retries,
+                                  options_.link_seed, options_.link_burst);
   obs::PhaseTimer route_timer(obs::kPhaseReportRoute);
   std::vector<std::optional<double>> received(
       static_cast<std::size_t>(cols) * rows);

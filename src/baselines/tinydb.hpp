@@ -5,6 +5,7 @@
 
 #include "field/grid_field.hpp"
 #include "geometry/polyline.hpp"
+#include "net/channel.hpp"
 #include "net/deployment.hpp"
 #include "net/ledger.hpp"
 #include "net/routing_tree.hpp"
@@ -27,6 +28,9 @@ struct TinyDBOptions {
   double link_loss = 0.0;
   int link_retries = 3;
   std::uint64_t link_seed = 0xC0FFEEULL;
+  /// Bursty Gilbert–Elliott channel; replaces link_loss when set, so
+  /// chaos comparisons against Iso-Map run over the identical link model.
+  std::optional<GilbertElliottParams> link_burst;
   /// Record every forwarding transmission for MAC-layer replay studies.
   bool record_transmissions = false;
 };

@@ -120,62 +120,171 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
   }
 
   const InNetworkFilter filter = InNetworkFilter::from_query(query);
-  Channel channel =
-      options_.link_loss > 0.0
-          ? Channel(options_.link_loss, options_.link_retries,
-                    Rng(options_.link_seed))
-          : Channel();
+  Channel channel = Channel::make(options_.link_loss, options_.link_retries,
+                                  options_.link_seed, options_.link_burst);
+
+  // Mid-run fault machinery. With faults active the convergecast works on
+  // a private copy of the routing tree so the repair can rewire it; the
+  // injector advances along convergecast progress and kills nodes on
+  // schedule. With no faults the injector is empty and the loop below
+  // reduces to the classic single leaves-first pass over the static tree.
+  FaultInjector injector(options_.fault.active()
+                             ? make_fault_plan(options_.fault, deployment,
+                                               tree.sink())
+                             : FaultPlan(),
+                         deployment, tree.sink());
+  const bool faults = !injector.plan_empty();
+  std::optional<RoutingTree> healed;
+  if (faults) healed.emplace(tree);
+  const RoutingTree& route = faults ? *healed : tree;
+
+  int lost_crash = 0;
+  int lost_channel = 0;
+  int filtered = 0;
+  int repairs = 0;
+  double repair_bytes = 0.0;
+
+  // Fire every fault event due at `progress`: reports buffered at a dying
+  // node die with it, then (when self-healing) the tree repairs itself —
+  // orphans beacon and re-attach, charged to the ledger under their own
+  // phase so repair energy is separable from report routing.
+  // Returns how many orphans the repair re-attached so the convergecast
+  // loop can schedule another epoch for their stranded reports even when
+  // nothing else moved this epoch.
+  const auto apply_faults = [&](double progress) -> int {
+    if (!faults) return 0;
+    const std::vector<int> died = injector.advance(progress);
+    if (died.empty()) return 0;
+    for (int c : died) {
+      auto& stranded = buffer[static_cast<std::size_t>(c)];
+      lost_crash += static_cast<int>(stranded.size());
+      stranded.clear();
+    }
+    if (!options_.fault.self_healing) return 0;
+    const obs::PhaseTimer repair_timer(obs::kPhaseRepair);
+    const RoutingTree::RepairReport rep =
+        healed->repair(graph, injector.alive_mask(), &ledger);
+    repairs += rep.reattached;
+    repair_bytes += rep.bytes;
+    return rep.reattached;
+  };
+
   double report_bytes = 0.0;
   TransmissionLog transmission_log;
   std::vector<double> level_bottleneck(
-      static_cast<std::size_t>(tree.depth()) + 1, 0.0);
-  for (int u : tree.post_order()) {
-    if (u == tree.sink()) continue;
-    auto& outgoing = buffer[static_cast<std::size_t>(u)];
-    if (outgoing.empty()) continue;
-    const int p = tree.parent(u);
-    const double bytes = static_cast<double>(outgoing.size()) *
-                             IsolineReport::kWireBytes +
-                         options_.header_bytes;
-    auto& slot = level_bottleneck[static_cast<std::size_t>(tree.level(u))];
-    slot = std::max(slot, bytes);
-    const bool delivered = channel.send(u, p, bytes, ledger);
-    report_bytes += bytes;
-    if (options_.record_transmissions)
-      transmission_log.push_back({u, p, bytes, tree.level(u)});
-    if (delivered) {
-      auto& inbox = buffer[static_cast<std::size_t>(p)];
-      if (query.enable_filtering) {
-        // The per-hop filter work is its own phase nested inside the
-        // convergecast: its compute charges (and per-report drop events)
-        // are attributed to filtering, not routing.
-        const obs::PhaseTimer filter_timer(obs::kPhaseFilter);
-        double ops = 0.0;
-        filter.merge(inbox, outgoing, &ops, p);
-        ledger.compute(p, ops);
-      } else {
-        inbox.insert(inbox.end(), outgoing.begin(), outgoing.end());
+      static_cast<std::size_t>(route.depth()) + 1, 0.0);
+
+  // Convergecast epochs. One leaves-first pass delivers everything on a
+  // static tree; after a repair, reports re-routed through an
+  // already-visited node wait for the next epoch (their new ancestors'
+  // TDMA slots have passed), so epochs repeat until no report moves.
+  // Every parent is strictly one level below its child — in the repaired
+  // tree too — so each epoch moves every surviving report at least one
+  // level down and the loop terminates within `depth` epochs.
+  const double total_units =
+      static_cast<double>(std::max(1, route.reachable_count() - 1));
+  double units_done = 0.0;
+  bool moved = true;
+  int epochs = 0;
+  while (moved && epochs <= n) {
+    moved = false;
+    ++epochs;
+    const std::vector<int> order = route.post_order();  // Copy: repair
+                                                        // rewrites it.
+    for (int u : order) {
+      if (u == route.sink()) continue;
+      if (faults) {
+        // A repair may re-attach orphans holding reports; give them an
+        // epoch even if no other buffer moves in this one.
+        if (apply_faults(std::min(1.0, units_done / total_units)) > 0)
+          moved = true;
+        units_done += 1.0;
+        if (!injector.alive(u)) continue;  // Died; buffer already lost.
       }
+      auto& outgoing = buffer[static_cast<std::size_t>(u)];
+      if (outgoing.empty()) continue;
+      if (!route.reachable(u)) continue;  // Orphan: swept after the loop.
+      const int p = route.parent(u);
+      if (faults && !injector.alive(p)) {
+        // Dead next-hop and no repair (self-healing off): the node keeps
+        // retrying into silence and the whole batch is stranded.
+        lost_crash += static_cast<int>(outgoing.size());
+        outgoing.clear();
+        moved = true;
+        continue;
+      }
+      const double bytes = static_cast<double>(outgoing.size()) *
+                               IsolineReport::kWireBytes +
+                           options_.header_bytes;
+      const auto lvl = static_cast<std::size_t>(route.level(u));
+      if (lvl >= level_bottleneck.size()) level_bottleneck.resize(lvl + 1, 0.0);
+      level_bottleneck[lvl] = std::max(level_bottleneck[lvl], bytes);
+      const bool delivered = channel.send(u, p, bytes, ledger);
+      report_bytes += bytes;
+      if (options_.record_transmissions)
+        transmission_log.push_back({u, p, bytes, route.level(u)});
+      if (delivered) {
+        auto& inbox = buffer[static_cast<std::size_t>(p)];
+        if (query.enable_filtering) {
+          // The per-hop filter work is its own phase nested inside the
+          // convergecast: its compute charges (and per-report drop events)
+          // are attributed to filtering, not routing.
+          const obs::PhaseTimer filter_timer(obs::kPhaseFilter);
+          const std::size_t kept_before = inbox.size();
+          double ops = 0.0;
+          filter.merge(inbox, outgoing, &ops, p);
+          ledger.compute(p, ops);
+          filtered += static_cast<int>(outgoing.size() -
+                                       (inbox.size() - kept_before));
+        } else {
+          inbox.insert(inbox.end(), outgoing.begin(), outgoing.end());
+        }
+      } else {
+        lost_channel += static_cast<int>(outgoing.size());
+      }
+      outgoing.clear();
+      moved = true;
     }
-    outgoing.clear();
+  }
+  // Fire any faults scheduled after the last report hop, then account
+  // every report still stuck at a non-sink node (orphans the repair could
+  // not re-attach): nothing is dropped silently.
+  apply_faults(1.0);
+  for (int v = 0; v < n; ++v) {
+    if (v == route.sink()) continue;
+    auto& stuck = buffer[static_cast<std::size_t>(v)];
+    lost_crash += static_cast<int>(stuck.size());
+    stuck.clear();
   }
   route_timer.stop();
   obs::count("reports.generated", generated);
+  if (filtered > 0) obs::count("reports.filtered", filtered);
+  if (lost_channel > 0) obs::count("reports.lost_channel", lost_channel);
+  if (lost_crash > 0) obs::count("reports.lost_crash", lost_crash);
+  if (repairs > 0) obs::count("route.repairs", repairs);
+  if (repair_bytes > 0.0) obs::count("route.repair_bytes", repair_bytes);
 
   std::vector<IsolineReport> sink_reports =
-      std::move(buffer[static_cast<std::size_t>(tree.sink())]);
+      std::move(buffer[static_cast<std::size_t>(route.sink())]);
   obs::count("reports.delivered", static_cast<double>(sink_reports.size()));
   ContourMap map = ContourMapBuilder(deployment.bounds(), options_.regulation)
                        .build(sink_reports, query.isolevels());
-  IsoMapResult result{std::move(sink_reports), std::move(map), 0, 0, 0, 0.0, 0.0, 0.0, 0.0, {}};
+  IsoMapResult result{.sink_reports = std::move(sink_reports),
+                      .map = std::move(map),
+                      .transmissions = std::move(transmission_log)};
   result.isoline_node_count = static_cast<int>(distinct_nodes.size());
   result.generated_reports = generated;
   result.delivered_reports = static_cast<int>(result.sink_reports.size());
+  result.filtered_reports = filtered;
+  result.lost_channel_reports = lost_channel;
+  result.lost_crash_reports = lost_crash;
+  result.crashed_nodes = injector.crash_count();
+  result.route_repairs = repairs;
+  result.repair_traffic_bytes = repair_bytes;
   result.report_traffic_bytes = report_bytes;
   result.measurement_traffic_bytes = measurement_bytes;
   result.dissemination_traffic_bytes = dissemination_bytes;
   for (double slot : level_bottleneck) result.bottleneck_bytes += slot;
-  result.transmissions = std::move(transmission_log);
   return result;
 }
 

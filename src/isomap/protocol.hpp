@@ -1,13 +1,16 @@
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "energy/mica2.hpp"
+#include "fault/fault.hpp"
 #include "isomap/contour_map.hpp"
 #include "isomap/filter.hpp"
 #include "isomap/node_selection.hpp"
 #include "isomap/query.hpp"
 #include "isomap/report.hpp"
+#include "net/channel.hpp"
 #include "net/deployment.hpp"
 #include "net/ledger.hpp"
 #include "net/routing_tree.hpp"
@@ -42,6 +45,16 @@ struct IsoMapOptions {
   int link_retries = 3;
   std::uint64_t link_seed = 0xC0FFEEULL;
 
+  /// Bursty (Gilbert–Elliott) channel mode: when set it replaces the
+  /// i.i.d. link_loss model for the convergecast (link_retries and
+  /// link_seed still apply).
+  std::optional<GilbertElliottParams> link_burst;
+
+  /// Mid-run fault injection (node crashes, region blackouts) and the
+  /// self-healing repair switch; inactive by default. See fault/fault.hpp
+  /// and docs/ROBUSTNESS.md.
+  FaultConfig fault;
+
   /// Record every convergecast transmission in IsoMapResult::transmissions
   /// (for MAC-layer replay studies).
   bool record_transmissions = false;
@@ -64,6 +77,21 @@ struct IsoMapResult {
   int isoline_node_count = 0;   ///< Distinct nodes selected (any level).
   int generated_reports = 0;    ///< Reports created at isoline nodes.
   int delivered_reports = 0;    ///< Reports surviving to the sink.
+
+  /// Loss accounting. Every generated report ends in exactly one bucket:
+  ///   generated = delivered + filtered + lost_channel + lost_crash
+  /// `filtered` are deliberate in-network filter merges (Section 3.5);
+  /// `lost_channel` died in the channel after exhausting ARQ retries;
+  /// `lost_crash` were stranded by node crashes (buffered at a node when
+  /// it died, or held by an orphan the repair could not re-attach).
+  int filtered_reports = 0;
+  int lost_channel_reports = 0;
+  int lost_crash_reports = 0;
+
+  int crashed_nodes = 0;        ///< Nodes that died mid-run.
+  int route_repairs = 0;        ///< Orphans re-attached by self-healing.
+  double repair_traffic_bytes = 0.0;  ///< Repair beacon + ack bytes.
+
   double report_traffic_bytes = 0.0;       ///< Hop-by-hop report bytes.
   double measurement_traffic_bytes = 0.0;  ///< Local-exchange bytes.
   double dissemination_traffic_bytes = 0.0;

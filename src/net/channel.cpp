@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace isomap {
 
 Channel::Channel() : rng_(0) {}
@@ -17,6 +19,39 @@ Channel::Channel(double loss_probability, int max_retries, Rng rng)
     throw std::invalid_argument("Channel: max_retries must be >= 0");
 }
 
+Channel::Channel(const GilbertElliottParams& params, int max_retries, Rng rng)
+    : max_retries_(max_retries), burst_(params), rng_(rng) {
+  if (params.p_enter_burst < 0.0 || params.p_enter_burst > 1.0)
+    throw std::invalid_argument("Channel: p_enter_burst must be in [0,1]");
+  if (params.p_exit_burst <= 0.0 || params.p_exit_burst > 1.0)
+    throw std::invalid_argument("Channel: p_exit_burst must be in (0,1]");
+  if (params.loss_good < 0.0 || params.loss_good >= 1.0)
+    throw std::invalid_argument("Channel: loss_good must be in [0,1)");
+  if (params.loss_bad < 0.0 || params.loss_bad > 1.0)
+    throw std::invalid_argument("Channel: loss_bad must be in [0,1]");
+  if (max_retries < 0)
+    throw std::invalid_argument("Channel: max_retries must be >= 0");
+}
+
+Channel Channel::make(double loss, int max_retries, std::uint64_t seed,
+                      const std::optional<GilbertElliottParams>& burst) {
+  if (burst) return Channel(*burst, max_retries, Rng(seed));
+  if (loss > 0.0) return Channel(loss, max_retries, Rng(seed));
+  return Channel();
+}
+
+double Channel::attempt_loss() {
+  if (!burst_) return loss_probability_;
+  const double loss = in_burst_ ? burst_->loss_bad : burst_->loss_good;
+  // Advance the two-state chain once per attempt.
+  if (in_burst_) {
+    if (rng_.bernoulli(burst_->p_exit_burst)) in_burst_ = false;
+  } else {
+    if (rng_.bernoulli(burst_->p_enter_burst)) in_burst_ = true;
+  }
+  return loss;
+}
+
 bool Channel::send(int from, int to, double bytes, Ledger& ledger) {
   if (perfect()) {
     ++attempts_;
@@ -25,7 +60,11 @@ bool Channel::send(int from, int to, double bytes, Ledger& ledger) {
   }
   for (int attempt = 0; attempt <= max_retries_; ++attempt) {
     ++attempts_;
-    if (rng_.bernoulli(loss_probability_)) {
+    if (attempt > 0) {
+      ++retries_;
+      obs::count("channel.retries");
+    }
+    if (rng_.bernoulli(attempt_loss())) {
       // Lost attempt: sender still burned the airtime; receiver decoded
       // nothing useful.
       ledger.transmit_lost(from, bytes);
@@ -35,12 +74,14 @@ bool Channel::send(int from, int to, double bytes, Ledger& ledger) {
     return true;
   }
   ++drops_;
+  obs::count("channel.drops");
   return false;
 }
 
 double Channel::delivery_probability() const {
   if (perfect()) return 1.0;
-  return 1.0 - std::pow(loss_probability_, max_retries_ + 1);
+  const double loss = burst_ ? burst_->mean_loss() : loss_probability_;
+  return 1.0 - std::pow(loss, max_retries_ + 1);
 }
 
 }  // namespace isomap

@@ -91,6 +91,7 @@ inline constexpr const char* kPhaseDisseminate = "disseminate";
 inline constexpr const char* kPhaseSelect = "select";
 inline constexpr const char* kPhaseGradientFit = "gradient_fit";
 inline constexpr const char* kPhaseReportRoute = "report_route";
+inline constexpr const char* kPhaseRepair = "route_repair";
 inline constexpr const char* kPhaseFilter = "filter";
 inline constexpr const char* kPhaseFilterDrop = "filter_drop";
 inline constexpr const char* kPhaseMapGen = "map_gen";

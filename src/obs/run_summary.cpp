@@ -13,6 +13,16 @@ JsonValue LedgerTotals::to_json() const {
   return v;
 }
 
+JsonValue FaultTotals::to_json() const {
+  JsonValue v = JsonValue::object();
+  v["crashes"] = JsonValue(crashes);
+  v["route_repairs"] = JsonValue(route_repairs);
+  v["repair_bytes"] = JsonValue(repair_bytes);
+  v["reports_lost_crash"] = JsonValue(reports_lost_crash);
+  v["reports_lost_channel"] = JsonValue(reports_lost_channel);
+  return v;
+}
+
 double RunSummary::phase_seconds(const std::string& phase) const {
   const auto it = phases.find(phase);
   return it == phases.end() ? 0.0 : it->second.sum;
@@ -23,6 +33,7 @@ JsonValue RunSummary::to_json() const {
   v["protocol"] = JsonValue(protocol);
   v["wall_s"] = JsonValue(wall_s);
   v["ledger"] = ledger.to_json();
+  v["faults"] = faults.to_json();
   JsonValue& ph = v["phases"];
   ph = JsonValue::object();
   for (const auto& [name, snap] : phases) ph[name] = snap.to_json();
@@ -50,6 +61,15 @@ RunSummary make_run_summary(std::string protocol,
   summary.counters = registry.counters();
   summary.gauges = registry.gauges();
   summary.trace_events = trace_events;
+  const auto counter = [&](const char* name) {
+    const auto it = summary.counters.find(name);
+    return it == summary.counters.end() ? 0.0 : it->second;
+  };
+  summary.faults.crashes = counter("fault.crashes");
+  summary.faults.route_repairs = counter("route.repairs");
+  summary.faults.repair_bytes = counter("route.repair_bytes");
+  summary.faults.reports_lost_crash = counter("reports.lost_crash");
+  summary.faults.reports_lost_channel = counter("reports.lost_channel");
   static constexpr const char kPrefix[] = "phase.";
   static constexpr const char kSuffix[] = ".seconds";
   for (auto& [name, snap] : registry.histogram_snapshots()) {

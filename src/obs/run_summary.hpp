@@ -22,6 +22,25 @@ struct LedgerTotals {
   JsonValue to_json() const;
 };
 
+/// Flat copy of a run's fault / degradation counters (zero on fault-free
+/// runs): how many nodes crashed mid-run, how the routing tree repaired
+/// itself, what the repair cost, and where the lost reports went. Derived
+/// from the "fault.*" / "route.*" / "reports.lost_*" counters so the
+/// degradation story reads off the summary without string lookups.
+struct FaultTotals {
+  double crashes = 0.0;
+  double route_repairs = 0.0;
+  double repair_bytes = 0.0;
+  double reports_lost_crash = 0.0;
+  double reports_lost_channel = 0.0;
+
+  bool any() const {
+    return crashes > 0 || route_repairs > 0 || repair_bytes > 0 ||
+           reports_lost_crash > 0 || reports_lost_channel > 0;
+  }
+  JsonValue to_json() const;
+};
+
 /// Everything one protocol run reports about itself: total wall time,
 /// per-phase timing histograms (count / sum / p50 / p95 / max seconds),
 /// the ledger breakdown and a full metric snapshot. Every *Run bundle
@@ -31,6 +50,7 @@ struct RunSummary {
   std::string protocol;
   double wall_s = 0.0;
   LedgerTotals ledger;
+  FaultTotals faults;
   /// Phase label -> timing summary (seconds), from the PhaseTimer
   /// histograms ("phase.<label>.seconds").
   std::map<std::string, HistogramSnapshot> phases;

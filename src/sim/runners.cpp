@@ -56,11 +56,15 @@ IsoMapRun run_isomap(const Scenario& scenario, const IsoMapOptions& options,
   return {std::move(result), std::move(ledger), std::move(summary)};
 }
 
-IsoMapRun run_isomap(const Scenario& scenario, int num_levels,
-                     obs::TraceSink* trace) {
+IsoMapOptions isomap_options(const Scenario& scenario, int num_levels) {
   IsoMapOptions options;
   options.query = default_query(scenario.field, num_levels);
-  return run_isomap(scenario, options, trace);
+  return options;
+}
+
+IsoMapRun run_isomap(const Scenario& scenario, int num_levels,
+                     obs::TraceSink* trace) {
+  return run_isomap(scenario, isomap_options(scenario, num_levels), trace);
 }
 
 TinyDBRun run_tinydb(const Scenario& scenario, TinyDBOptions options,

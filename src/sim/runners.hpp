@@ -59,6 +59,11 @@ obs::LedgerTotals ledger_totals(const Ledger& ledger);
 IsoMapRun run_isomap(const Scenario& scenario, const IsoMapOptions& options,
                      obs::TraceSink* trace = nullptr);
 
+/// Paper-default options with `num_levels` isolevels spanning the
+/// scenario field — the starting point callers tweak (link loss, bursty
+/// channel, fault injection) before run_isomap(scenario, options).
+IsoMapOptions isomap_options(const Scenario& scenario, int num_levels = 4);
+
 /// Convenience: paper-default options with `num_levels` isolevels spanning
 /// the scenario field.
 IsoMapRun run_isomap(const Scenario& scenario, int num_levels = 4,

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "net/channel.hpp"
+#include "obs/obs.hpp"
 
 namespace isomap {
 namespace {
@@ -67,6 +68,133 @@ TEST(Channel, DeterministicForSeed) {
   Ledger la(2), lb(2);
   for (int i = 0; i < 200; ++i)
     EXPECT_EQ(a.send(0, 1, 1.0, la), b.send(0, 1, 1.0, lb));
+}
+
+TEST(Channel, NoRetryDropChargesOnlyLostTx) {
+  // max_retries = 0: a drop is one paid transmission and zero received
+  // bytes — the receiver never decodes, so it never pays RX.
+  Channel channel(0.5, 0, Rng(9));
+  Ledger ledger(2);
+  int delivered = 0;
+  const int kSends = 4000;
+  for (int i = 0; i < kSends; ++i)
+    delivered += channel.send(0, 1, 3.0, ledger) ? 1 : 0;
+  EXPECT_EQ(channel.attempts(), kSends);  // No retries ever.
+  EXPECT_DOUBLE_EQ(ledger.tx_bytes(0), 3.0 * kSends);
+  EXPECT_DOUBLE_EQ(ledger.rx_bytes(1), 3.0 * delivered);
+  EXPECT_EQ(channel.drops(), kSends - delivered);
+}
+
+TEST(GilbertElliott, ValidatesParameters) {
+  GilbertElliottParams p;
+  EXPECT_NO_THROW(Channel(p, 3, Rng(1)));
+  p.p_enter_burst = 1.5;
+  EXPECT_THROW(Channel(p, 3, Rng(1)), std::invalid_argument);
+  p = {};
+  p.p_exit_burst = 0.0;  // Would trap the chain in the burst state.
+  EXPECT_THROW(Channel(p, 3, Rng(1)), std::invalid_argument);
+  p = {};
+  p.loss_good = 1.0;  // Certain loss even in the good state.
+  EXPECT_THROW(Channel(p, 3, Rng(1)), std::invalid_argument);
+  p = {};
+  p.loss_bad = -0.1;
+  EXPECT_THROW(Channel(p, 3, Rng(1)), std::invalid_argument);
+  p = {};
+  EXPECT_THROW(Channel(p, -1, Rng(1)), std::invalid_argument);
+}
+
+TEST(GilbertElliott, StationaryLossMatchesEmpirically) {
+  GilbertElliottParams p{0.05, 0.2, 0.0, 0.8};
+  // stationary_bad = 0.05 / 0.25 = 0.2; mean loss = 0.2 * 0.8 = 0.16.
+  EXPECT_NEAR(p.stationary_bad(), 0.2, 1e-12);
+  EXPECT_NEAR(p.mean_loss(), 0.16, 1e-12);
+  Channel channel(p, 0, Rng(17));
+  Ledger ledger(2);
+  int delivered = 0;
+  const int kSends = 50000;
+  for (int i = 0; i < kSends; ++i)
+    delivered += channel.send(0, 1, 1.0, ledger) ? 1 : 0;
+  EXPECT_NEAR(1.0 - static_cast<double>(delivered) / kSends, p.mean_loss(),
+              0.01);
+}
+
+TEST(GilbertElliott, LossesComeInBursts) {
+  // Compare the drop autocorrelation of a GE channel against an i.i.d.
+  // channel of the same mean loss: bursts make consecutive drops far more
+  // likely.
+  const GilbertElliottParams p{0.02, 0.1, 0.0, 1.0};  // mean loss 1/6.
+  const auto consecutive_drop_rate = [](Channel channel) {
+    Ledger ledger(2);
+    int pairs = 0, drops = 0;
+    bool prev_drop = false;
+    for (int i = 0; i < 30000; ++i) {
+      const bool drop = !channel.send(0, 1, 1.0, ledger);
+      if (drop) {
+        ++drops;
+        if (prev_drop) ++pairs;
+      }
+      prev_drop = drop;
+    }
+    return drops ? static_cast<double>(pairs) / drops : 0.0;
+  };
+  const double bursty = consecutive_drop_rate(Channel(p, 0, Rng(23)));
+  const double iid =
+      consecutive_drop_rate(Channel(p.mean_loss(), 0, Rng(23)));
+  EXPECT_GT(bursty, 2.0 * iid);
+}
+
+TEST(GilbertElliott, DeterministicPerSeedAndNeverDropsWhenQuiet) {
+  const GilbertElliottParams p{0.03, 0.25, 0.01, 0.9};
+  Channel a(p, 2, Rng(31));
+  Channel b(p, 2, Rng(31));
+  Ledger la(2), lb(2);
+  for (int i = 0; i < 500; ++i)
+    EXPECT_EQ(a.send(0, 1, 1.0, la), b.send(0, 1, 1.0, lb));
+  EXPECT_TRUE(a.bursty());
+
+  // p_enter = 0 and loss_good = 0: the chain never leaves the good state
+  // and never drops; the channel still reports itself as bursty (not
+  // perfect) but behaves losslessly.
+  Channel quiet(GilbertElliottParams{0.0, 0.5, 0.0, 0.9}, 0, Rng(1));
+  Ledger ledger(2);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_TRUE(quiet.send(0, 1, 1.0, ledger));
+  EXPECT_EQ(quiet.drops(), 0);
+}
+
+TEST(Channel, MakeSelectsIidOrBurstMode) {
+  const Channel iid = Channel::make(0.2, 3, 42, std::nullopt);
+  EXPECT_FALSE(iid.bursty());
+  EXPECT_EQ(iid.max_retries(), 3);
+  const Channel ge =
+      Channel::make(0.2, 3, 42, GilbertElliottParams{0.02, 0.25, 0.0, 0.8});
+  EXPECT_TRUE(ge.bursty());  // The burst spec wins over the scalar loss.
+  const Channel perfect = Channel::make(0.0, 3, 42, std::nullopt);
+  EXPECT_TRUE(perfect.perfect());
+}
+
+TEST(Channel, RetryAndDropCountersReachTheRegistry) {
+  obs::MetricsRegistry metrics;
+  {
+    const obs::ObsScope scope(&metrics, nullptr);
+    Channel channel(0.5, 2, Rng(13));
+    Ledger ledger(2);
+    for (int i = 0; i < 2000; ++i) channel.send(0, 1, 1.0, ledger);
+    EXPECT_EQ(static_cast<long long>(metrics.counter("channel.retries")),
+              channel.retries());
+    EXPECT_EQ(static_cast<long long>(metrics.counter("channel.drops")),
+              channel.drops());
+    EXPECT_GT(metrics.counter("channel.retries"), 0.0);
+    EXPECT_GT(metrics.counter("channel.drops"), 0.0);
+  }
+  // Outside the scope the counters no-op: sends still work and the
+  // registry stays frozen.
+  const double drops_before = metrics.counter("channel.drops");
+  Channel bare(0.5, 1, Rng(3));
+  Ledger ledger(2);
+  for (int i = 0; i < 100; ++i) bare.send(0, 1, 1.0, ledger);
+  EXPECT_GT(bare.drops(), 0);
+  EXPECT_DOUBLE_EQ(metrics.counter("channel.drops"), drops_before);
 }
 
 }  // namespace

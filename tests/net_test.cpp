@@ -54,6 +54,15 @@ TEST(Deployment, FailAllAndNone) {
   EXPECT_EQ(dep.nearest_alive({25, 25}), -1);
 }
 
+TEST(Deployment, FailRandomClampsOutOfRangeFractions) {
+  Rng rng(4);
+  Deployment dep = Deployment::uniform_random(kBounds, 100, rng);
+  dep.fail_random(-0.5, rng);  // Below 0: nobody dies.
+  EXPECT_EQ(dep.alive_count(), 100);
+  dep.fail_random(1.5, rng);  // Above 1: everybody dies.
+  EXPECT_EQ(dep.alive_count(), 0);
+}
+
 TEST(Deployment, NearestAliveSkipsDead) {
   std::vector<Node> nodes = {{0, {1, 1}, true, {}}, {1, {25, 25}, true, {}}};
   Deployment dep(kBounds, std::move(nodes));
@@ -196,6 +205,53 @@ TEST(RoutingTree, DeadSinkThrows) {
   const CommGraph graph(dep, 5.0);
   EXPECT_THROW(RoutingTree(graph, 0), std::invalid_argument);
   EXPECT_THROW(RoutingTree(graph, -1), std::invalid_argument);
+}
+
+TEST(RoutingTree, ParentTieBreaksToLowestId) {
+  // Node 3 sits in range of two level-1 candidates (1 and 2, both in
+  // range of the sink): BFS must deterministically pick the lower id,
+  // whatever order the frontier was discovered in.
+  std::vector<Node> nodes = {{0, {0.0, 0.0}, true, {}},
+                             {1, {1.0, 0.0}, true, {}},
+                             {2, {0.6, 0.8}, true, {}},
+                             {3, {1.4, 0.8}, true, {}}};
+  const Deployment dep(kBounds, std::move(nodes));
+  const CommGraph graph(dep, 1.1);
+  const RoutingTree tree(graph, 0);
+  EXPECT_EQ(tree.parent(1), 0);
+  EXPECT_EQ(tree.parent(2), 0);
+  EXPECT_EQ(tree.parent(3), 1);  // Not 2: lowest-id parent wins the tie.
+  EXPECT_EQ(tree.level(3), 2);
+
+  // Mirror the geometry so the higher id is discovered first: the choice
+  // must not flip.
+  std::vector<Node> swapped = {{0, {0.0, 0.0}, true, {}},
+                               {1, {0.6, 0.8}, true, {}},
+                               {2, {1.0, 0.0}, true, {}},
+                               {3, {1.4, 0.8}, true, {}}};
+  const Deployment dep2(kBounds, std::move(swapped));
+  const RoutingTree tree2(CommGraph(dep2, 1.1), 0);
+  EXPECT_EQ(tree2.parent(3), 1);
+}
+
+TEST(RoutingTree, PathToSinkEmptyForUnreachableAndBogusNodes) {
+  // Two clusters out of radio range: 0-1 around the sink, 2-3 far away.
+  std::vector<Node> nodes = {{0, {0, 0}, true, {}},
+                             {1, {1, 0}, true, {}},
+                             {2, {30, 30}, true, {}},
+                             {3, {31, 30}, true, {}}};
+  Deployment dep(kBounds, std::move(nodes));
+  dep.nodes()[1].alive = false;  // Dead node: also never in the tree.
+  const CommGraph graph(dep, 1.5);
+  const RoutingTree tree(graph, 0);
+  EXPECT_TRUE(tree.path_to_sink(2).empty());   // Disconnected.
+  EXPECT_TRUE(tree.path_to_sink(3).empty());
+  EXPECT_TRUE(tree.path_to_sink(1).empty());   // Dead.
+  EXPECT_TRUE(tree.path_to_sink(-1).empty());  // Out of range.
+  EXPECT_TRUE(tree.path_to_sink(99).empty());
+  const auto own = tree.path_to_sink(0);  // The sink's path is itself.
+  ASSERT_EQ(own.size(), 1u);
+  EXPECT_EQ(own[0], 0);
 }
 
 TEST(Ledger, TransmitAndComputeAccounting) {
