@@ -14,7 +14,7 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  banner("Ablation", "fixed epsilon = 0.05T vs slope-adaptive epsilon",
+  const std::string title = banner("Ablation", "fixed epsilon = 0.05T vs slope-adaptive epsilon",
          "adaptive >= fixed at low density and under failures");
 
   const int kSeeds = 4;
@@ -55,6 +55,6 @@ int main() {
           .cell(acc.mean(), 1);
     }
   }
-  emit_table("ablation_adaptive_epsilon", table);
+  emit_table("ablation_adaptive_epsilon", title, table);
   return 0;
 }

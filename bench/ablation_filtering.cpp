@@ -36,7 +36,7 @@ Outcome run_with(const Scenario& s, bool filtering, double sa, double sd) {
 }  // namespace
 
 int main() {
-  banner("Ablation", "angular-aware vs distance-only in-network filtering",
+  const std::string title = banner("Ablation", "angular-aware vs distance-only in-network filtering",
          "angle-aware filtering preserves accuracy at matched report "
          "counts");
 
@@ -78,6 +78,6 @@ int main() {
       .cell(dist_r.mean(), 1)
       .cell(dist_kb.mean(), 2)
       .cell(dist_a.mean(), 2);
-  emit_table("ablation_filtering", table);
+  emit_table("ablation_filtering", title, table);
   return 0;
 }

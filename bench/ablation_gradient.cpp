@@ -15,7 +15,7 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  banner("Ablation", "reporting the gradient direction d vs positions only",
+  const std::string title = banner("Ablation", "reporting the gradient direction d vs positions only",
          "gradient reports win at similar traffic; gap widens when sparse");
 
   const int kSeeds = 3;
@@ -93,6 +93,6 @@ int main() {
         .cell(agg_acc.mean(), 1)
         .cell(agg_iou.mean(), 3);
   }
-  emit_table("ablation_gradient", table);
+  emit_table("ablation_gradient", title, table);
   return 0;
 }

@@ -14,7 +14,7 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  banner("Ablation", "regression neighbourhood scope: 1-hop vs 2-hop",
+  const std::string title = banner("Ablation", "regression neighbourhood scope: 1-hop vs 2-hop",
          "2-hop helps only at low density, at a measurement-traffic cost");
 
   const int kSeeds = 3;
@@ -51,6 +51,6 @@ int main() {
           .cell(acc.mean(), 1);
     }
   }
-  emit_table("ablation_regression_scope", table);
+  emit_table("ablation_regression_scope", title, table);
   return 0;
 }

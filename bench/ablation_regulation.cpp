@@ -12,7 +12,7 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  banner("Ablation", "sink-side regulation: none vs rules vs blended",
+  const std::string title = banner("Ablation", "sink-side regulation: none vs rules vs blended",
          "rules >= none on fidelity; pinnacle/concavity smoothing helps");
 
   const RegulationMode modes[] = {RegulationMode::kNone,
@@ -53,7 +53,7 @@ int main() {
         .cell(haus.count() ? haus.mean() : -1.0, 4)
         .cell(chains.mean(), 1);
   }
-  emit_table("ablation_regulation", table);
+  emit_table("ablation_regulation", title, table);
   std::cout << "\n(blended mode classifies without explicit boundary "
                "geometry; its Hausdorff column reflects the same "
                "boundary-extraction machinery run on its pieces)\n";

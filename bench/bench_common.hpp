@@ -13,6 +13,7 @@
 
 #include "eval/metrics.hpp"
 #include "eval/render.hpp"
+#include "exec/exec.hpp"
 #include "sim/runners.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
@@ -80,20 +81,16 @@ inline std::string write_bench_json(const std::string& id,
   return path.string();
 }
 
-namespace detail {
-/// Title of the most recent banner() call — emit_table() stamps it into
-/// the JSON payload so each BENCH_*.json is self-describing.
-inline std::string last_banner_title;  // NOLINT(cert-err58-cpp)
-}  // namespace detail
-
 /// Print a table to stdout AND persist it as results/BENCH_<id>.json —
 /// the machine-readable twin of every paper-shaped table. The title is
-/// taken from the preceding banner() call.
-inline void emit_table(const std::string& id, const Table& table) {
+/// passed explicitly (usually the string banner() returned) so emission
+/// order no longer matters and there is no hidden mutable state.
+inline void emit_table(const std::string& id, const std::string& title,
+                       const Table& table) {
   table.print(std::cout);
   JsonValue payload = JsonValue::object();
   payload["bench"] = JsonValue(id);
-  payload["title"] = JsonValue(detail::last_banner_title);
+  payload["title"] = JsonValue(title);
   payload["seed_base"] = JsonValue(kBenchSeed);
   payload["table"] = table_json(table);
   const std::string path = write_bench_json(id, payload);
@@ -102,25 +99,54 @@ inline void emit_table(const std::string& id, const Table& table) {
 
 /// Persist a RunSummary alongside a bench's tables (BENCH_<id>.json with
 /// a "run_summary" payload) — per-phase timings for one representative run.
-inline void emit_run_summary(const std::string& id,
+inline void emit_run_summary(const std::string& id, const std::string& title,
                              const obs::RunSummary& summary) {
   JsonValue payload = JsonValue::object();
   payload["bench"] = JsonValue(id);
-  payload["title"] = JsonValue(detail::last_banner_title);
+  payload["title"] = JsonValue(title);
   payload["seed_base"] = JsonValue(kBenchSeed);
   payload["run_summary"] = summary.to_json();
   const std::string path = write_bench_json(id, payload);
   if (!path.empty()) std::cout << "[bench] wrote " << path << "\n";
 }
 
-/// Print the standard figure banner.
-inline void banner(const std::string& id, const std::string& title,
-                   const std::string& paper_expectation) {
-  detail::last_banner_title = title;
+/// Print the standard figure banner and return the title, for forwarding
+/// to emit_table() / emit_run_summary().
+inline std::string banner(const std::string& id, const std::string& title,
+                          const std::string& paper_expectation) {
   std::cout << "==================================================\n"
             << id << ": " << title << "\n"
             << "Paper expectation: " << paper_expectation << "\n"
             << "==================================================\n";
+  return title;
+}
+
+/// Run `trials` independent trials for each of `points` sweep points as
+/// ONE flat parallel region (point-major), so sweeps whose per-point
+/// trial count is smaller than the pool still fill it. Each trial gets
+/// trial_seed(trial) exactly as the serial loops did, and runs under
+/// exec::parallel_trials' determinism contract (suppressed obs context,
+/// results in order). Returns results grouped per point, in trial order —
+/// accumulate them serially for bitwise-stable statistics.
+template <typename RunFn>
+auto sweep_trials(std::size_t points, int trials, RunFn&& run) {
+  using T = std::decay_t<
+      std::invoke_result_t<RunFn&, std::size_t, int, std::uint64_t>>;
+  const auto per = static_cast<std::size_t>(std::max(0, trials));
+  auto flat = exec::parallel_trials(
+      static_cast<int>(points * per),
+      [&](std::uint64_t t) { return trial_seed((t - 1) % per + 1); },
+      [&](int t, std::uint64_t seed) {
+        const auto flat_idx = static_cast<std::size_t>(t - 1);
+        return run(flat_idx / per, static_cast<int>(flat_idx % per) + 1, seed);
+      });
+  std::vector<std::vector<T>> out(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    out[p].reserve(per);
+    for (std::size_t t = 0; t < per; ++t)
+      out[p].push_back(std::move(flat[p * per + t]));
+  }
+  return out;
 }
 
 /// A field side that yields roughly the requested routing-tree diameter

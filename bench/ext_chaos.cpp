@@ -8,6 +8,8 @@
 //   generated == delivered + filtered + lost_channel + lost_crash
 // and the bench exits non-zero on any violation.
 
+#include <atomic>
+
 #include "bench/bench_common.hpp"
 
 using namespace isomap;
@@ -15,7 +17,8 @@ using namespace isomap::bench;
 
 namespace {
 
-int identity_violations = 0;
+// Incremented from concurrent trials; atomic so the count stays exact.
+std::atomic<int> identity_violations{0};
 
 /// Every generated report must be delivered, filtered or accounted as
 /// lost — a silent loss is a bug, not a data point.
@@ -57,37 +60,52 @@ int main(int argc, char** argv) {
   const int kSeeds = argc > 2 ? std::atoi(argv[2]) : 3;
   const Mica2Model energy;
 
-  banner("Chaos (a)",
+  const std::string titlea = banner("Chaos (a)",
          "mid-run crash sweep, self-healing routing (nodes = " +
              std::to_string(nodes) + ")",
          "delivery ratio >= ~90% at 10% crashes; repair cost a few KB");
   Table a({"crash_pct", "crashed", "delivered_ratio_pct", "lost_crash",
            "lost_channel", "repairs", "repair_KB", "accuracy_pct",
            "mean_energy_uJ"});
-  for (const double crash : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+  const std::vector<double> crash_fracs = {0.0, 0.02, 0.05, 0.10, 0.20};
+  struct CrashTrial {
+    double crashed, ratio, lcrash, lchan, repairs, rkb, acc, uj;
+  };
+  const auto crash_runs = sweep_trials(
+      crash_fracs.size(), kSeeds, [&](std::size_t pi, int, std::uint64_t seed) {
+        const double crash = crash_fracs[pi];
+        const Scenario s = harbor_scenario(nodes, seed);
+        const IsoMapRun clean = chaos_run(s, 0.0, seed);
+        const IsoMapRun run = crash > 0.0 ? chaos_run(s, crash, seed) : clean;
+        return CrashTrial{
+            static_cast<double>(run.result.crashed_nodes),
+            clean.result.delivered_reports
+                ? 100.0 * run.result.delivered_reports /
+                      clean.result.delivered_reports
+                : 0.0,
+            static_cast<double>(run.result.lost_crash_reports),
+            static_cast<double>(run.result.lost_channel_reports),
+            static_cast<double>(run.result.route_repairs),
+            run.result.repair_traffic_bytes / 1024.0,
+            mapping_accuracy(run.result.map, s.field,
+                             default_query(s.field, 4).isolevels(), 70) *
+                100.0,
+            energy.mean_node_energy_j(run.ledger) * 1e6};
+      });
+  for (std::size_t pi = 0; pi < crash_fracs.size(); ++pi) {
     RunningStats crashed, ratio, lcrash, lchan, repairs, rkb, acc, uj;
-    for (std::uint64_t trial = 1;
-         trial <= static_cast<std::uint64_t>(kSeeds); ++trial) {
-      const std::uint64_t seed = trial_seed(trial);
-      const Scenario s = harbor_scenario(nodes, seed);
-      const IsoMapRun clean = chaos_run(s, 0.0, seed);
-      const IsoMapRun run = crash > 0.0 ? chaos_run(s, crash, seed) : clean;
-      crashed.add(run.result.crashed_nodes);
-      ratio.add(clean.result.delivered_reports
-                    ? 100.0 * run.result.delivered_reports /
-                          clean.result.delivered_reports
-                    : 0.0);
-      lcrash.add(run.result.lost_crash_reports);
-      lchan.add(run.result.lost_channel_reports);
-      repairs.add(run.result.route_repairs);
-      rkb.add(run.result.repair_traffic_bytes / 1024.0);
-      acc.add(mapping_accuracy(run.result.map, s.field,
-                               default_query(s.field, 4).isolevels(), 70) *
-              100.0);
-      uj.add(energy.mean_node_energy_j(run.ledger) * 1e6);
+    for (const CrashTrial& t : crash_runs[pi]) {
+      crashed.add(t.crashed);
+      ratio.add(t.ratio);
+      lcrash.add(t.lcrash);
+      lchan.add(t.lchan);
+      repairs.add(t.repairs);
+      rkb.add(t.rkb);
+      acc.add(t.acc);
+      uj.add(t.uj);
     }
     a.row()
-        .cell(crash * 100.0, 0)
+        .cell(crash_fracs[pi] * 100.0, 0)
         .cell(crashed.mean(), 1)
         .cell(ratio.mean(), 1)
         .cell(lcrash.mean(), 1)
@@ -97,9 +115,9 @@ int main(int argc, char** argv) {
         .cell(acc.mean(), 1)
         .cell(uj.mean(), 2);
   }
-  emit_table("ext_chaos_crash", a);
+  emit_table("ext_chaos_crash", titlea, a);
 
-  banner("Chaos (b)", "bursty links (Gilbert-Elliott) x mid-run crashes",
+  const std::string titleb = banner("Chaos (b)", "bursty links (Gilbert-Elliott) x mid-run crashes",
          "burst losses beyond ARQ's reach shift losses from crash to "
          "channel; accounting identity holds everywhere");
   const GilbertElliottParams kMildBurst{0.02, 0.25, 0.01, 0.8};
@@ -109,39 +127,52 @@ int main(int argc, char** argv) {
   const std::pair<const char*, std::optional<GilbertElliottParams>>
       channels[] = {{"clean", {}}, {"mild_burst", kMildBurst},
                     {"heavy_burst", kHeavyBurst}};
-  for (const auto& [label, burst] : channels) {
-    for (const double crash : {0.0, 0.10}) {
-      RunningStats delivered, lcrash, lchan, rps, acc;
-      for (std::uint64_t trial = 1;
-           trial <= static_cast<std::uint64_t>(kSeeds); ++trial) {
-        const std::uint64_t seed = trial_seed(trial);
+  // Flatten (channel x crash) into one sweep: point pi = channel pi/2,
+  // crash fraction 0% or 10% by parity.
+  struct BurstTrial {
+    double delivered, lcrash, lchan, rps, acc;
+  };
+  const auto burst_runs = sweep_trials(
+      std::size(channels) * 2, kSeeds,
+      [&](std::size_t pi, int, std::uint64_t seed) {
+        const auto& burst = channels[pi / 2].second;
+        const double crash = (pi % 2) ? 0.10 : 0.0;
         const Scenario s = harbor_scenario(nodes, seed);
         const IsoMapRun run = chaos_run(s, crash, seed, true, burst);
-        delivered.add(run.result.delivered_reports);
-        lcrash.add(run.result.lost_crash_reports);
-        lchan.add(run.result.lost_channel_reports);
         const auto& counters = run.summary.counters;
         const auto it = counters.find("channel.retries");
         const double sends =
             std::max(1.0, static_cast<double>(run.result.generated_reports));
-        rps.add((it != counters.end() ? it->second : 0.0) / sends);
-        acc.add(mapping_accuracy(run.result.map, s.field,
-                                 default_query(s.field, 4).isolevels(), 70) *
-                100.0);
-      }
-      b.row()
-          .cell(label)
-          .cell(crash * 100.0, 0)
-          .cell(delivered.mean(), 1)
-          .cell(lcrash.mean(), 1)
-          .cell(lchan.mean(), 1)
-          .cell(rps.mean(), 2)
-          .cell(acc.mean(), 1);
+        return BurstTrial{
+            static_cast<double>(run.result.delivered_reports),
+            static_cast<double>(run.result.lost_crash_reports),
+            static_cast<double>(run.result.lost_channel_reports),
+            (it != counters.end() ? it->second : 0.0) / sends,
+            mapping_accuracy(run.result.map, s.field,
+                             default_query(s.field, 4).isolevels(), 70) *
+                100.0};
+      });
+  for (std::size_t pi = 0; pi < std::size(channels) * 2; ++pi) {
+    RunningStats delivered, lcrash, lchan, rps, acc;
+    for (const BurstTrial& t : burst_runs[pi]) {
+      delivered.add(t.delivered);
+      lcrash.add(t.lcrash);
+      lchan.add(t.lchan);
+      rps.add(t.rps);
+      acc.add(t.acc);
     }
+    b.row()
+        .cell(channels[pi / 2].first)
+        .cell((pi % 2) ? 10.0 : 0.0, 0)
+        .cell(delivered.mean(), 1)
+        .cell(lcrash.mean(), 1)
+        .cell(lchan.mean(), 1)
+        .cell(rps.mean(), 2)
+        .cell(acc.mean(), 1);
   }
-  emit_table("ext_chaos_burst", b);
+  emit_table("ext_chaos_burst", titleb, b);
 
-  banner("Chaos (c)", "region blackout + self-healing ablation",
+  const std::string titlec = banner("Chaos (c)", "region blackout + self-healing ablation",
          "self-healing recovers reports routed around the dead region; a "
          "static tree loses every subtree behind it");
   Table c({"config", "delivered", "lost_crash", "repairs", "repair_KB",
@@ -158,44 +189,56 @@ int main(int argc, char** argv) {
       {"blackout+crash_healed", true, 0.05, true},
       {"blackout+crash_static", true, 0.05, false},
   };
-  for (const auto& cfg : configs) {
+  struct BlackoutTrial {
+    double delivered, lcrash, repairs, rkb, acc;
+  };
+  const auto blackout_runs = sweep_trials(
+      std::size(configs), kSeeds,
+      [&](std::size_t pi, int, std::uint64_t seed) {
+        const auto& cfg = configs[pi];
+        const Scenario s = harbor_scenario(nodes, seed);
+        IsoMapOptions options = isomap_options(s, 4);
+        options.fault.crash_fraction = cfg.crash;
+        options.fault.seed = seed * 1013;
+        options.fault.self_healing = cfg.heal;
+        if (cfg.blackout) {
+          options.fault.blackout = true;
+          // Off-centre disc (~1/8 of the field side as radius) so the sink
+          // survives but a populated region dies mid-run.
+          options.fault.blackout_center = {s.config.field_side * 0.7,
+                                           s.config.field_side * 0.7};
+          options.fault.blackout_radius = s.config.field_side * 0.125;
+          options.fault.blackout_time = 0.4;
+        }
+        const IsoMapRun run = run_isomap(s, options);
+        check_identity(run);
+        return BlackoutTrial{
+            static_cast<double>(run.result.delivered_reports),
+            static_cast<double>(run.result.lost_crash_reports),
+            static_cast<double>(run.result.route_repairs),
+            run.result.repair_traffic_bytes / 1024.0,
+            mapping_accuracy(run.result.map, s.field,
+                             default_query(s.field, 4).isolevels(), 70) *
+                100.0};
+      });
+  for (std::size_t pi = 0; pi < std::size(configs); ++pi) {
     RunningStats delivered, lcrash, repairs, rkb, acc;
-    for (std::uint64_t trial = 1;
-         trial <= static_cast<std::uint64_t>(kSeeds); ++trial) {
-      const std::uint64_t seed = trial_seed(trial);
-      const Scenario s = harbor_scenario(nodes, seed);
-      IsoMapOptions options = isomap_options(s, 4);
-      options.fault.crash_fraction = cfg.crash;
-      options.fault.seed = seed * 1013;
-      options.fault.self_healing = cfg.heal;
-      if (cfg.blackout) {
-        options.fault.blackout = true;
-        // Off-centre disc (~1/8 of the field side as radius) so the sink
-        // survives but a populated region dies mid-run.
-        options.fault.blackout_center = {s.config.field_side * 0.7,
-                                         s.config.field_side * 0.7};
-        options.fault.blackout_radius = s.config.field_side * 0.125;
-        options.fault.blackout_time = 0.4;
-      }
-      const IsoMapRun run = run_isomap(s, options);
-      check_identity(run);
-      delivered.add(run.result.delivered_reports);
-      lcrash.add(run.result.lost_crash_reports);
-      repairs.add(run.result.route_repairs);
-      rkb.add(run.result.repair_traffic_bytes / 1024.0);
-      acc.add(mapping_accuracy(run.result.map, s.field,
-                               default_query(s.field, 4).isolevels(), 70) *
-              100.0);
+    for (const BlackoutTrial& t : blackout_runs[pi]) {
+      delivered.add(t.delivered);
+      lcrash.add(t.lcrash);
+      repairs.add(t.repairs);
+      rkb.add(t.rkb);
+      acc.add(t.acc);
     }
     c.row()
-        .cell(cfg.label)
+        .cell(configs[pi].label)
         .cell(delivered.mean(), 1)
         .cell(lcrash.mean(), 1)
         .cell(repairs.mean(), 1)
         .cell(rkb.mean(), 2)
         .cell(acc.mean(), 1);
   }
-  emit_table("ext_chaos_blackout", c);
+  emit_table("ext_chaos_blackout", titlec, c);
 
   if (identity_violations > 0) {
     std::cerr << "[ext_chaos] " << identity_violations

@@ -16,7 +16,7 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  banner("Extension", "continuous mapping of an evolving harbor bed",
+  const std::string title = banner("Extension", "continuous mapping of an evolving harbor bed",
          "delta traffic << snapshot re-runs at comparable accuracy");
 
   const Scenario s = harbor_scenario(2500, 1);
@@ -72,7 +72,7 @@ int main() {
         .cell(cont_acc, 1)
         .cell(snap_acc, 1);
   }
-  emit_table("ext_continuous", table);
+  emit_table("ext_continuous", title, table);
   std::cout << "\nTotals over " << kRounds
             << " rounds: delta " << delta_total / 1024.0
             << " KB vs snapshot re-runs " << snapshot_total / 1024.0

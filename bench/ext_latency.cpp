@@ -14,7 +14,7 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  banner("Extension", "TDMA collection latency vs network diameter",
+  const std::string title = banner("Extension", "TDMA collection latency vs network diameter",
          "TinyDB latency grows ~linearly with n; Iso-Map with depth only");
 
   const int kSeeds = 3;
@@ -39,6 +39,6 @@ int main() {
         .cell(iso_s.mean(), 3)
         .cell(tinydb_s.mean() / std::max(iso_s.mean(), 1e-12), 1);
   }
-  emit_table("ext_latency", table);
+  emit_table("ext_latency", title, table);
   return 0;
 }

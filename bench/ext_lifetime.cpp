@@ -105,7 +105,7 @@ LifetimeOutcome run_lifetime(const std::string& protocol, double battery_mj,
 }  // namespace
 
 int main() {
-  banner("Extension", "network lifetime under repeated mapping rounds",
+  const std::string title = banner("Extension", "network lifetime under repeated mapping rounds",
          "Iso-Map sustains an order of magnitude more rounds than TinyDB");
 
   const double kBatteryMj = 40.0;
@@ -130,7 +130,7 @@ int main() {
         .cell(ten.count() ? ten.mean() : -1.0, 0)
         .cell(unusable.mean(), 0);
   }
-  emit_table("ext_lifetime", table);
+  emit_table("ext_lifetime", title, table);
   std::cout << "\n(-1 = never reached within " << kMaxRounds
             << " rounds; the sink is mains-powered and exempt.)\n";
   return 0;

@@ -14,7 +14,7 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  banner("Extension", "localization source vs map fidelity",
+  const std::string title = banner("Extension", "localization source vs map fidelity",
          "DV-Hop degrades gracefully; correlated error beats white noise "
          "of equal magnitude");
 
@@ -88,7 +88,7 @@ int main() {
         .cell(0.0, 1)
         .cell(acc.mean(), 1);
   }
-  emit_table("ext_localization", table);
+  emit_table("ext_localization", title, table);
   std::cout << "\n(DV-Hop flood traffic is a one-time deployment cost, "
                "amortized over every subsequent mapping round.)\n";
   return 0;

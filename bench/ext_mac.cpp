@@ -15,7 +15,7 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  banner("Extension", "slotted-CSMA contention replay of the convergecast",
+  const std::string title = banner("Extension", "slotted-CSMA contention replay of the convergecast",
          "TinyDB collides heavily near the sink; Iso-Map near-ideal");
 
   const int kSeeds = 2;
@@ -80,7 +80,7 @@ int main() {
         .cell(tdb_ideal.mean(), 2)
         .cell(tdb_waste.mean(), 1);
   }
-  emit_table("ext_mac", table);
+  emit_table("ext_mac", title, table);
   std::cout << "\n(The replay keeps the protocols' burst schedules; a "
                "production TinyDB would pace its epoch to survive, paying "
                "even more latency. The point is the contention *pressure* "

@@ -11,7 +11,7 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  banner("Fig. 7", "gradient direction error vs average node degree",
+  const std::string title = banner("Fig. 7", "gradient direction error vs average node degree",
          "error falls quickly; within ~5 deg at degree >= 7");
 
   Table table({"target_degree", "measured_degree", "mean_err_deg",
@@ -65,6 +65,6 @@ int main() {
         .cell(err.max(), 2)
         .cell(err.count());
   }
-  emit_table("fig07", table);
+  emit_table("fig07", title, table);
   return 0;
 }

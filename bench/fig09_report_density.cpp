@@ -10,7 +10,7 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  banner("Fig. 9", "contour regions under different report densities",
+  const std::string title = banner("Fig. 9", "contour regions under different report densities",
          "evenly filtered reports barely degrade the map");
 
   const Scenario s = harbor_scenario(2500, 1);
@@ -51,7 +51,7 @@ int main() {
         s.field.bounds(), res, res,
         [&](Vec2 p) { return run.result.map.level_index(p); }));
   }
-  emit_table("fig09", table);
+  emit_table("fig09", title, table);
 
   std::cout << "\n"
             << ascii_render_pair(truth, maps[0], "ground truth",

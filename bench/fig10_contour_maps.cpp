@@ -11,7 +11,7 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  banner("Fig. 10", "contour maps: TinyDB vs Iso-Map across node densities",
+  const std::string title = banner("Fig. 10", "contour maps: TinyDB vs Iso-Map across node densities",
          "comparable maps; Iso-Map report count stays ~50-120, sublinear "
          "in density");
 
@@ -57,7 +57,7 @@ int main() {
     write_pgm(i_map, "fig10_isomap_d" + std::to_string(i) + ".pgm");
   }
   std::cout << "\n";
-  emit_table("fig10", table);
+  emit_table("fig10", title, table);
   std::cout << "\nPGM renders written to fig10_*.pgm\n";
   return 0;
 }

@@ -23,62 +23,80 @@ double isomap_accuracy_run(const Scenario& s, double epsilon_fraction) {
                           options.query.isolevels(), 80);
 }
 
+struct AccuracyTrial {
+  double tinydb, iso, iso_wide;
+};
+
 }  // namespace
 
 int main() {
   const int kSeeds = 3;
 
-  banner("Fig. 11a", "mapping accuracy vs node density",
+  const std::string titlea = banner("Fig. 11a", "mapping accuracy vs node density",
          ">80% for density >= 1; Iso-Map slightly below TinyDB; large "
          "epsilon helps only at low density");
   Table a({"density", "nodes", "tinydb_pct", "isomap_pct",
            "isomap_eps20_pct"});
-  for (const double density : {0.16, 0.36, 0.64, 1.0, 2.0, 4.0}) {
-    const int n = static_cast<int>(density * 2500.0 + 0.5);
+  const std::vector<double> densities = {0.16, 0.36, 0.64, 1.0, 2.0, 4.0};
+  const auto density_runs = sweep_trials(
+      densities.size(), kSeeds, [&](std::size_t pi, int, std::uint64_t seed) {
+        const int n = static_cast<int>(densities[pi] * 2500.0 + 0.5);
+        const Scenario grid = harbor_scenario(n, seed, /*grid=*/true);
+        const Scenario random = harbor_scenario(n, seed);
+        const ContourQuery query = default_query(grid.field, 4);
+        return AccuracyTrial{
+            tinydb_accuracy(run_tinydb(grid), grid.field, query.isolevels()),
+            isomap_accuracy_run(random, 0.05),
+            isomap_accuracy_run(random, 0.20)};
+      });
+  for (std::size_t pi = 0; pi < densities.size(); ++pi) {
     double tinydb_acc = 0, iso_acc = 0, iso_wide_acc = 0;
-    for (std::uint64_t trial = 1; trial <= kSeeds; ++trial) {
-      const std::uint64_t seed = trial_seed(trial);
-      const Scenario grid = harbor_scenario(n, seed, /*grid=*/true);
-      const Scenario random = harbor_scenario(n, seed);
-      const ContourQuery query = default_query(grid.field, 4);
-      tinydb_acc +=
-          tinydb_accuracy(run_tinydb(grid), grid.field, query.isolevels());
-      iso_acc += isomap_accuracy_run(random, 0.05);
-      iso_wide_acc += isomap_accuracy_run(random, 0.20);
+    for (const AccuracyTrial& t : density_runs[pi]) {
+      tinydb_acc += t.tinydb;
+      iso_acc += t.iso;
+      iso_wide_acc += t.iso_wide;
     }
     a.row()
-        .cell(density, 2)
-        .cell(n)
+        .cell(densities[pi], 2)
+        .cell(static_cast<int>(densities[pi] * 2500.0 + 0.5))
         .cell(tinydb_acc / kSeeds * 100.0, 1)
         .cell(iso_acc / kSeeds * 100.0, 1)
         .cell(iso_wide_acc / kSeeds * 100.0, 1);
   }
-  emit_table("fig11a", a);
+  emit_table("fig11a", titlea, a);
 
-  banner("Fig. 11b", "mapping accuracy vs node-failure ratio",
+  const std::string titleb = banner("Fig. 11b", "mapping accuracy vs node-failure ratio",
          "both degrade; unusable beyond ~40% failures; large epsilon is "
          "more failure-tolerant");
   Table b({"failure_pct", "tinydb_pct", "isomap_pct", "isomap_eps20_pct"});
-  for (const double failures : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+  const std::vector<double> failure_fracs = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
+  const auto failure_runs = sweep_trials(
+      failure_fracs.size(), kSeeds,
+      [&](std::size_t pi, int, std::uint64_t seed) {
+        const double failures = failure_fracs[pi];
+        const Scenario grid =
+            harbor_scenario(2500, seed, /*grid=*/true, failures);
+        const Scenario random =
+            harbor_scenario(2500, seed, /*grid=*/false, failures);
+        const ContourQuery query = default_query(grid.field, 4);
+        return AccuracyTrial{
+            tinydb_accuracy(run_tinydb(grid), grid.field, query.isolevels()),
+            isomap_accuracy_run(random, 0.05),
+            isomap_accuracy_run(random, 0.20)};
+      });
+  for (std::size_t pi = 0; pi < failure_fracs.size(); ++pi) {
     double tinydb_acc = 0, iso_acc = 0, iso_wide_acc = 0;
-    for (std::uint64_t trial = 1; trial <= kSeeds; ++trial) {
-      const std::uint64_t seed = trial_seed(trial);
-      const Scenario grid =
-          harbor_scenario(2500, seed, /*grid=*/true, failures);
-      const Scenario random =
-          harbor_scenario(2500, seed, /*grid=*/false, failures);
-      const ContourQuery query = default_query(grid.field, 4);
-      tinydb_acc +=
-          tinydb_accuracy(run_tinydb(grid), grid.field, query.isolevels());
-      iso_acc += isomap_accuracy_run(random, 0.05);
-      iso_wide_acc += isomap_accuracy_run(random, 0.20);
+    for (const AccuracyTrial& t : failure_runs[pi]) {
+      tinydb_acc += t.tinydb;
+      iso_acc += t.iso;
+      iso_wide_acc += t.iso_wide;
     }
     b.row()
-        .cell(failures * 100.0, 0)
+        .cell(failure_fracs[pi] * 100.0, 0)
         .cell(tinydb_acc / kSeeds * 100.0, 1)
         .cell(iso_acc / kSeeds * 100.0, 1)
         .cell(iso_wide_acc / kSeeds * 100.0, 1);
   }
-  emit_table("fig11b", b);
+  emit_table("fig11b", titleb, b);
   return 0;
 }

@@ -21,69 +21,77 @@ double isomap_hausdorff_run(const Scenario& s) {
   return h / 50.0;  // Normalize to the field side, as the paper does.
 }
 
+// Per-trial distances; non-finite values are filtered at accumulation.
+struct HausdorffTrial {
+  double tinydb, iso_random, iso_grid;
+};
+
+HausdorffTrial hausdorff_trial(const Scenario& grid, const Scenario& random) {
+  const ContourQuery query = isomap::default_query(grid.field, 4);
+  return {isomap::bench::tinydb_hausdorff(isomap::run_tinydb(grid), grid.field,
+                                          query.isolevels()) /
+              50.0,
+          isomap_hausdorff_run(random), isomap_hausdorff_run(grid)};
+}
+
 }  // namespace
 
 int main() {
   const int kSeeds = 5;
 
-  banner("Fig. 12a", "normalized Hausdorff distance vs node density",
+  const std::string titlea = banner("Fig. 12a", "normalized Hausdorff distance vs node density",
          "grows as density falls; grid helps Iso-Map; TinyDB scales with "
          "grid cell size");
   Table a({"density", "nodes", "tinydb", "isomap_random", "isomap_grid"});
-  for (const double density : {0.16, 0.36, 0.64, 1.0, 2.0, 4.0}) {
-    const int n = static_cast<int>(density * 2500.0 + 0.5);
+  const std::vector<double> densities = {0.16, 0.36, 0.64, 1.0, 2.0, 4.0};
+  const auto density_runs = sweep_trials(
+      densities.size(), kSeeds, [&](std::size_t pi, int, std::uint64_t seed) {
+        const int n = static_cast<int>(densities[pi] * 2500.0 + 0.5);
+        return hausdorff_trial(harbor_scenario(n, seed, /*grid=*/true),
+                               harbor_scenario(n, seed));
+      });
+  for (std::size_t pi = 0; pi < densities.size(); ++pi) {
     RunningStats tinydb_h, iso_rand_h, iso_grid_h;
-    for (std::uint64_t trial = 1; trial <= kSeeds; ++trial) {
-      const std::uint64_t seed = trial_seed(trial);
-      const Scenario grid = harbor_scenario(n, seed, /*grid=*/true);
-      const Scenario random = harbor_scenario(n, seed);
-      const ContourQuery query = default_query(grid.field, 4);
-      const double th = tinydb_hausdorff(run_tinydb(grid), grid.field,
-                                         query.isolevels()) /
-                        50.0;
-      if (std::isfinite(th)) tinydb_h.add(th);
-      const double hr = isomap_hausdorff_run(random);
-      if (std::isfinite(hr)) iso_rand_h.add(hr);
-      const double hg = isomap_hausdorff_run(grid);
-      if (std::isfinite(hg)) iso_grid_h.add(hg);
+    for (const HausdorffTrial& t : density_runs[pi]) {
+      if (std::isfinite(t.tinydb)) tinydb_h.add(t.tinydb);
+      if (std::isfinite(t.iso_random)) iso_rand_h.add(t.iso_random);
+      if (std::isfinite(t.iso_grid)) iso_grid_h.add(t.iso_grid);
     }
     a.row()
-        .cell(density, 2)
-        .cell(n)
+        .cell(densities[pi], 2)
+        .cell(static_cast<int>(densities[pi] * 2500.0 + 0.5))
         .cell(tinydb_h.mean(), 4)
         .cell(iso_rand_h.mean(), 4)
         .cell(iso_grid_h.mean(), 4);
   }
-  emit_table("fig12a", a);
+  emit_table("fig12a", titlea, a);
 
-  banner("Fig. 12b", "normalized Hausdorff distance vs node failures",
+  const std::string titleb = banner("Fig. 12b", "normalized Hausdorff distance vs node failures",
          "grows with failures; TinyDB more vulnerable at high failure "
          "rates");
   Table b({"failure_pct", "tinydb", "isomap_random", "isomap_grid"});
-  for (const double failures : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+  const std::vector<double> failure_fracs = {0.0, 0.1, 0.2, 0.3, 0.4};
+  const auto failure_runs = sweep_trials(
+      failure_fracs.size(), kSeeds,
+      [&](std::size_t pi, int, std::uint64_t seed) {
+        const double failures = failure_fracs[pi];
+        return hausdorff_trial(
+            harbor_scenario(2500, seed, /*grid=*/true, failures),
+            harbor_scenario(2500, seed, /*grid=*/false, failures));
+      });
+  for (std::size_t pi = 0; pi < failure_fracs.size(); ++pi) {
     RunningStats tinydb_h, iso_rand_h, iso_grid_h;
-    for (std::uint64_t trial = 1; trial <= kSeeds; ++trial) {
-      const std::uint64_t seed = trial_seed(trial);
-      const Scenario grid =
-          harbor_scenario(2500, seed, /*grid=*/true, failures);
-      const Scenario random =
-          harbor_scenario(2500, seed, /*grid=*/false, failures);
-      const ContourQuery query = default_query(grid.field, 4);
-      const double th = tinydb_hausdorff(run_tinydb(grid), grid.field,
-                                         query.isolevels()) /
-                        50.0;
-      if (std::isfinite(th)) tinydb_h.add(th);
-      const double hr = isomap_hausdorff_run(random);
-      if (std::isfinite(hr)) iso_rand_h.add(hr);
-      const double hg = isomap_hausdorff_run(grid);
-      if (std::isfinite(hg)) iso_grid_h.add(hg);
+    for (const HausdorffTrial& t : failure_runs[pi]) {
+      if (std::isfinite(t.tinydb)) tinydb_h.add(t.tinydb);
+      if (std::isfinite(t.iso_random)) iso_rand_h.add(t.iso_random);
+      if (std::isfinite(t.iso_grid)) iso_grid_h.add(t.iso_grid);
     }
     b.row()
-        .cell(failures * 100.0, 0)
+        .cell(failure_fracs[pi] * 100.0, 0)
         .cell(tinydb_h.mean(), 4)
         .cell(iso_rand_h.mean(), 4)
         .cell(iso_grid_h.mean(), 4);
   }
-  emit_table("fig12b", b);
+  emit_table("fig12b", titleb, b);
   return 0;
 }

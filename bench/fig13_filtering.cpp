@@ -11,7 +11,7 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  banner("Fig. 13", "reports and accuracy vs filter thresholds (sa, sd)",
+  const std::string title = banner("Fig. 13", "reports and accuracy vs filter thresholds (sa, sd)",
          "reports drop fast with tolerance; accuracy degrades slowly; "
          "sa=30,sd=4 is a good trade-off");
 
@@ -48,7 +48,7 @@ int main() {
           .cell(acc.mean(), 1);
     }
   }
-  emit_table("fig13", table);
+  emit_table("fig13", title, table);
   std::cout << "\n(sa = 0 disables filtering; that row is the unfiltered "
                "baseline.)\n";
   return 0;

@@ -13,7 +13,7 @@ using namespace isomap::bench;
 int main() {
   const int kSeeds = 2;
 
-  banner("Fig. 14a", "traffic (KB) vs network diameter at density 1",
+  const std::string titlea = banner("Fig. 14a", "traffic (KB) vs network diameter at density 1",
          "TinyDB/INLR grow fast; Iso-Map nearly flat in comparison");
   Table a({"diameter_hops", "measured_depth", "nodes", "tinydb_KB",
            "inlr_KB", "isomap_KB"});
@@ -40,9 +40,9 @@ int main() {
         .cell(inlr_kb.mean(), 1)
         .cell(iso_kb.mean(), 1);
   }
-  emit_table("fig14a", a);
+  emit_table("fig14a", titlea, a);
 
-  banner("Fig. 14b", "traffic (KB) vs node density (50x50 field)",
+  const std::string titleb = banner("Fig. 14b", "traffic (KB) vs node density (50x50 field)",
          "all grow with density, Iso-Map with a much smaller factor");
   Table b({"density", "nodes", "tinydb_KB", "inlr_KB", "isomap_KB"});
   for (const double density : {0.5, 1.0, 2.0, 3.0, 4.0}) {
@@ -73,6 +73,6 @@ int main() {
         .cell(inlr_kb.mean(), 1)
         .cell(iso_kb.mean(), 1);
   }
-  emit_table("fig14b", b);
+  emit_table("fig14b", titleb, b);
   return 0;
 }

@@ -15,7 +15,7 @@ using namespace isomap::bench;
 int main() {
   const int kSeeds = 2;
 
-  banner("Fig. 15a", "mean per-node computation (ops) vs network diameter",
+  const std::string titlea = banner("Fig. 15a", "mean per-node computation (ops) vs network diameter",
          "INLR huge and growing; TinyDB and Iso-Map low");
   Table a({"diameter_hops", "nodes", "tinydb_ops", "inlr_ops",
            "isomap_ops"});
@@ -43,13 +43,13 @@ int main() {
     iso_series.push_back({static_cast<double>(diameter), iso_ops.mean(),
                           iso_ops.max()});
   }
-  emit_table("fig15a", a);
+  emit_table("fig15a", titlea, a);
 
-  banner("Fig. 15b", "amplified view: Iso-Map per-node computation",
+  const std::string titleb = banner("Fig. 15b", "amplified view: Iso-Map per-node computation",
          "flat — per-node cost does not grow with network size");
   Table b({"diameter_hops", "isomap_mean_ops", "isomap_max_seed_ops"});
   for (const auto& row : iso_series)
     b.row().cell(static_cast<int>(row[0])).cell(row[1], 2).cell(row[2], 2);
-  emit_table("fig15b", b);
+  emit_table("fig15b", titleb, b);
   return 0;
 }

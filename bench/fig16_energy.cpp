@@ -12,7 +12,7 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  banner("Fig. 16", "mean per-node energy (mJ) vs network size",
+  const std::string title = banner("Fig. 16", "mean per-node energy (mJ) vs network size",
          "Iso-Map lowest and near-flat; TinyDB/INLR grow with size");
 
   const Mica2Model energy;
@@ -42,6 +42,6 @@ int main() {
         .cell(inlr_mj.mean(), 4)
         .cell(iso_mj.mean(), 4);
   }
-  emit_table("fig16", table);
+  emit_table("fig16", title, table);
   return 0;
 }

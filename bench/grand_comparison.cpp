@@ -14,7 +14,7 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  banner("Grand comparison", "all protocols, one scenario, one meter",
+  const std::string title = banner("Grand comparison", "all protocols, one scenario, one meter",
          "Iso-Map: TinyDB-class fidelity at a fraction of every cost");
 
   const int kSeeds = 3;
@@ -26,8 +26,18 @@ int main() {
   };
   Row isomap_row, tinydb_row, inlr_row, escan_row, suppress_row, agg_row;
 
-  for (std::uint64_t trial = 1; trial <= kSeeds; ++trial) {
-    const std::uint64_t seed = trial_seed(trial);
+  // One parallel trial = all six protocols on that trial's scenarios; the
+  // per-protocol samples come back in trial order and accumulate below
+  // exactly as the serial loop did.
+  struct ProtoSample {
+    double reports, traffic_kb, mean_ops, energy_uj, accuracy;
+  };
+  struct TrialResult {
+    ProtoSample isomap, tinydb, inlr, escan, suppress, agg;
+  };
+  const auto trials = exec::parallel_trials(
+      kSeeds, trial_seed, [&](int, std::uint64_t seed) {
+    TrialResult out{};
     const Scenario random = harbor_scenario(2500, seed);
     const Scenario grid = harbor_scenario(2500, seed, /*grid=*/true);
     const ContourQuery query = default_query(random.field, 4);
@@ -49,52 +59,51 @@ int main() {
       IsoMapOptions options;
       options.query = query;
       const IsoMapRun run = run_isomap(random, options);
-      isomap_row.reports.add(run.result.delivered_reports);
-      isomap_row.traffic_kb.add(run.result.report_traffic_bytes / 1024.0);
-      isomap_row.mean_ops.add(run.ledger.mean_ops());
-      isomap_row.energy_uj.add(energy.mean_node_energy_j(run.ledger) * 1e6);
-      isomap_row.accuracy.add(accuracy_of(
-          [&](Vec2 p) { return run.result.map.level_index(p); }, truth,
-          random.field));
+      out.isomap = {static_cast<double>(run.result.delivered_reports),
+                    run.result.report_traffic_bytes / 1024.0,
+                    run.ledger.mean_ops(),
+                    energy.mean_node_energy_j(run.ledger) * 1e6,
+                    accuracy_of(
+                        [&](Vec2 p) { return run.result.map.level_index(p); },
+                        truth, random.field)};
     }
     {
       const TinyDBRun run = run_tinydb(grid);
-      tinydb_row.reports.add(run.result.reports_delivered);
-      tinydb_row.traffic_kb.add(run.result.traffic_bytes / 1024.0);
-      tinydb_row.mean_ops.add(run.ledger.mean_ops());
-      tinydb_row.energy_uj.add(energy.mean_node_energy_j(run.ledger) * 1e6);
-      tinydb_row.accuracy.add(accuracy_of(
-          [&](Vec2 p) { return run.result.level_index(p, levels); },
-          grid_truth, grid.field));
+      out.tinydb = {
+          static_cast<double>(run.result.reports_delivered),
+          run.result.traffic_bytes / 1024.0, run.ledger.mean_ops(),
+          energy.mean_node_energy_j(run.ledger) * 1e6,
+          accuracy_of(
+              [&](Vec2 p) { return run.result.level_index(p, levels); },
+              grid_truth, grid.field)};
     }
     {
       const InlrRun run = run_inlr(grid);
-      inlr_row.reports.add(run.result.regions_at_sink);
-      inlr_row.traffic_kb.add(run.result.traffic_bytes / 1024.0);
-      inlr_row.mean_ops.add(run.ledger.mean_ops());
-      inlr_row.energy_uj.add(energy.mean_node_energy_j(run.ledger) * 1e6);
-      inlr_row.accuracy.add(accuracy_of(
-          [&](Vec2 p) { return run.result.level_index(p, levels); },
-          grid_truth, grid.field));
+      out.inlr = {
+          static_cast<double>(run.result.regions_at_sink),
+          run.result.traffic_bytes / 1024.0, run.ledger.mean_ops(),
+          energy.mean_node_energy_j(run.ledger) * 1e6,
+          accuracy_of(
+              [&](Vec2 p) { return run.result.level_index(p, levels); },
+              grid_truth, grid.field)};
     }
     {
       const EScanRun run = run_escan(grid);
-      escan_row.reports.add(run.result.tuples_at_sink);
-      escan_row.traffic_kb.add(run.result.traffic_bytes / 1024.0);
-      escan_row.mean_ops.add(run.ledger.mean_ops());
-      escan_row.energy_uj.add(energy.mean_node_energy_j(run.ledger) * 1e6);
-      escan_row.accuracy.add(accuracy_of(
-          [&](Vec2 p) { return run.result.level_index(p, levels); },
-          grid_truth, grid.field));
+      out.escan = {
+          static_cast<double>(run.result.tuples_at_sink),
+          run.result.traffic_bytes / 1024.0, run.ledger.mean_ops(),
+          energy.mean_node_energy_j(run.ledger) * 1e6,
+          accuracy_of(
+              [&](Vec2 p) { return run.result.level_index(p, levels); },
+              grid_truth, grid.field)};
     }
     {
       const SuppressionRun run = run_suppression(grid);
-      suppress_row.reports.add(run.result.reports_generated);
-      suppress_row.traffic_kb.add(run.result.traffic_bytes / 1024.0);
-      suppress_row.mean_ops.add(run.ledger.mean_ops());
-      suppress_row.energy_uj.add(energy.mean_node_energy_j(run.ledger) *
-                                 1e6);
-      suppress_row.has_accuracy = false;  // No sink map in this protocol.
+      out.suppress = {static_cast<double>(run.result.reports_generated),
+                      run.result.traffic_bytes / 1024.0,
+                      run.ledger.mean_ops(),
+                      energy.mean_node_energy_j(run.ledger) * 1e6,
+                      0.0};  // No sink map in this protocol.
     }
     {
       IsolineAggOptions options;
@@ -106,13 +115,30 @@ int main() {
                        random.tree, ledger);
       const IsolineAggMap map =
           protocol.build_map(result, random.field.bounds());
-      agg_row.reports.add(result.delivered_reports);
-      agg_row.traffic_kb.add(result.traffic_bytes / 1024.0);
-      agg_row.mean_ops.add(ledger.mean_ops());
-      agg_row.energy_uj.add(energy.mean_node_energy_j(ledger) * 1e6);
-      agg_row.accuracy.add(accuracy_of(
-          [&](Vec2 p) { return map.level_index(p); }, truth, random.field));
+      out.agg = {static_cast<double>(result.delivered_reports),
+                 result.traffic_bytes / 1024.0, ledger.mean_ops(),
+                 energy.mean_node_energy_j(ledger) * 1e6,
+                 accuracy_of([&](Vec2 p) { return map.level_index(p); },
+                             truth, random.field)};
     }
+    return out;
+  });
+
+  suppress_row.has_accuracy = false;
+  auto accumulate = [](Row& row, const ProtoSample& s) {
+    row.reports.add(s.reports);
+    row.traffic_kb.add(s.traffic_kb);
+    row.mean_ops.add(s.mean_ops);
+    row.energy_uj.add(s.energy_uj);
+    if (row.has_accuracy) row.accuracy.add(s.accuracy);
+  };
+  for (const TrialResult& t : trials) {
+    accumulate(isomap_row, t.isomap);
+    accumulate(tinydb_row, t.tinydb);
+    accumulate(inlr_row, t.inlr);
+    accumulate(escan_row, t.escan);
+    accumulate(suppress_row, t.suppress);
+    accumulate(agg_row, t.agg);
   }
 
   Table table({"protocol", "sink_units", "traffic_KB", "mean_node_ops",
@@ -133,7 +159,7 @@ int main() {
   add("eScan", escan_row);
   add("DataSuppression", suppress_row);
   add("IsolineAgg (no d)", agg_row);
-  emit_table("grand_comparison", table);
+  emit_table("grand_comparison", title, table);
   std::cout << "\n(sink_units: reports / regions / tuples the sink "
               "receives; suppression has no sink reconstruction.)\n";
   return 0;

@@ -15,6 +15,7 @@
 #include "isomap/contour_map.hpp"
 #include "isomap/filter.hpp"
 #include "isomap/regression.hpp"
+#include "net/comm_graph.hpp"
 #include "obs/obs.hpp"
 #include "util/rng.hpp"
 
@@ -52,6 +53,47 @@ void BM_VoronoiConstruction(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_VoronoiConstruction)->Range(16, 512)->Complexity();
+
+// The deployment-scale sizes the fidelity experiments use (densities
+// 0.16 / 1 / 4 on the 50x50 harbor section), indexed vs the brute-force
+// oracle the indexed path replaced.
+void BM_VoronoiIndexed(benchmark::State& state) {
+  const auto sites = random_sites(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    VoronoiDiagram vd(sites, 0, 0, 50, 50, VoronoiConstruction::kIndexed);
+    benchmark::DoNotOptimize(vd.cells().size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VoronoiIndexed)->Arg(400)->Arg(2500)->Arg(10000)->Complexity();
+
+void BM_VoronoiBruteForce(benchmark::State& state) {
+  const auto sites = random_sites(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    VoronoiDiagram vd(sites, 0, 0, 50, 50, VoronoiConstruction::kBruteForce);
+    benchmark::DoNotOptimize(vd.cells().size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VoronoiBruteForce)->Arg(400)->Arg(2500)->Complexity();
+
+// One 2-hop neighbourhood query on a unit-density graph — the inner call
+// of the gradient-fit phase (one BFS per isoline node).
+void BM_KHopNeighbours(benchmark::State& state) {
+  Rng rng(7);
+  const int n = static_cast<int>(state.range(0));
+  const double side = std::sqrt(static_cast<double>(n));
+  const Deployment deployment =
+      Deployment::uniform_random({0, 0, side, side}, n, rng);
+  const CommGraph graph(deployment, 1.5);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph.k_hop_neighbours_with_distance(i, 2).size());
+    i = (i + 1) % graph.size();
+  }
+}
+BENCHMARK(BM_KHopNeighbours)->Arg(400)->Arg(2500)->Arg(10000);
 
 void BM_ContourMapBuild(benchmark::State& state) {
   const auto reports = random_reports(static_cast<int>(state.range(0)), 2);

@@ -11,7 +11,7 @@ using namespace isomap;
 using namespace isomap::bench;
 
 int main() {
-  banner("Table 1", "overhead comparison of different approaches",
+  const std::string title = banner("Table 1", "overhead comparison of different approaches",
          "Iso-Map: O(sqrt(n)) reports, O(n) network computation, "
          "no deployment requirement");
 
@@ -31,7 +31,7 @@ int main() {
       .cell("O(sqrt(n))")
       .cell("O(n)")
       .cell("none");
-  emit_table("table1_analytic", analytic);
+  emit_table("table1_analytic", title, analytic);
 
   std::cout << "\nMeasured at n = 2500 (50x50 field, density 1, averaged "
                "over 3 seeds):\n";
@@ -88,7 +88,7 @@ int main() {
   add("INLR", inlr_reports, inlr_kb, inlr_ops);
   add("DataSuppression", sup_reports, sup_kb, sup_ops);
   add("Iso-Map", iso_reports, iso_kb, iso_ops);
-  emit_table("table1_measured", measured);
+  emit_table("table1_measured", title, measured);
 
   std::cout << "\nsqrt(2500) = 50 for reference: Iso-Map generates reports "
                "on that order while every baseline generates hundreds to "

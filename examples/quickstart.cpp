@@ -2,8 +2,12 @@
 // print the reconstructed isobath contour map next to the ground truth.
 //
 // Usage: quickstart [--nodes=2500] [--side=50] [--levels=4] [--seed=1]
-//                   [--crash=0.1] [--burst] [--no-heal]
+//                   [--threads=N] [--crash=0.1] [--burst] [--no-heal]
 //                   [--trace=<run.jsonl>] [--summary=<summary.json>]
+//
+// --threads sizes the exec thread pool used for sink-side map generation
+// (default: ISOMAP_THREADS, else hardware). The result is bitwise
+// identical at any thread count — see docs/PERFORMANCE.md.
 //
 // --trace streams every ledger charge, phase timing, selection and filter
 // drop as one JSON object per line (inspect with tools/trace_summary).
@@ -20,6 +24,7 @@
 
 #include "eval/metrics.hpp"
 #include "eval/render.hpp"
+#include "exec/exec.hpp"
 #include "obs/trace.hpp"
 #include "sim/runners.hpp"
 #include "util/cli.hpp"
@@ -34,11 +39,14 @@ int main(int argc, char** argv) {
   config.field_side = args.get_double("side", 50.0);
   config.seed = args.get_u64("seed", 1);
   const int levels = args.get_int("levels", 4);
+  if (const int threads = args.get_int("threads", 0); threads > 0)
+    exec::set_thread_count(threads);
 
   std::cout << "Deploying " << config.num_nodes << " sensor nodes over a "
             << config.field_side << " x " << config.field_side
             << " field (density " << config.density() << ", radio range "
-            << config.effective_radio_range() << ")...\n";
+            << config.effective_radio_range() << ", "
+            << exec::thread_count() << " thread(s))...\n";
 
   const Scenario scenario = make_scenario(config);
   std::cout << "Average node degree: " << scenario.graph.average_degree()

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/exec.hpp"
+
 namespace isomap {
 
 int level_index_of_value(double value, const std::vector<double>& isolevels) {
@@ -29,9 +31,15 @@ Vec2 LevelMap::pixel_center(int ix, int iy) const {
 LevelMap LevelMap::rasterize(FieldBounds bounds, int nx, int ny,
                              const std::function<int(Vec2)>& classify) {
   LevelMap map(bounds, nx, ny);
-  for (int iy = 0; iy < ny; ++iy)
+  // Rows rasterize across the pool; `classify` must therefore be safe to
+  // call concurrently (every in-tree classifier is a pure const read).
+  // Each row writes only its own pixels, so the raster is bitwise
+  // identical to the serial scan.
+  exec::parallel_for(static_cast<std::size_t>(ny), [&](std::size_t row) {
+    const int iy = static_cast<int>(row);
     for (int ix = 0; ix < nx; ++ix)
       map.at(ix, iy) = classify(map.pixel_center(ix, iy));
+  });
   return map;
 }
 

@@ -119,6 +119,36 @@ std::vector<int> PointIndex::k_nearest(Vec2 q, int k) const {
   return candidates;
 }
 
+void PointIndex::append_annulus(Vec2 q, double r_lo, double r_hi,
+                                std::vector<int>& out) const {
+  if (points_.empty() || r_hi < 0.0 || r_hi <= r_lo) return;
+  const int c0 = cell_col(q.x - r_hi);
+  const int c1 = cell_col(q.x + r_hi);
+  const int r0 = cell_row(q.y - r_hi);
+  const int r1 = cell_row(q.y + r_hi);
+  const double lo2 = r_lo < 0.0 ? -1.0 : r_lo * r_lo;
+  const double hi2 = r_hi * r_hi;
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) {
+      if (r_lo > 0.0) {
+        // Skip cells whose farthest corner is still inside the r_lo disc:
+        // every point in them was already reported by an earlier ring.
+        const double cx0 = min_x_ + c * cell_size_;
+        const double cy0 = min_y_ + r * cell_size_;
+        const double fx = std::max(std::abs(q.x - cx0),
+                                   std::abs(q.x - (cx0 + cell_size_)));
+        const double fy = std::max(std::abs(q.y - cy0),
+                                   std::abs(q.y - (cy0 + cell_size_)));
+        if (fx * fx + fy * fy <= lo2) continue;
+      }
+      for (int idx : cell(c, r)) {
+        const double d2 = (points_[static_cast<std::size_t>(idx)] - q).norm2();
+        if (d2 > lo2 && d2 <= hi2) out.push_back(idx);
+      }
+    }
+  }
+}
+
 std::vector<int> PointIndex::within(Vec2 q, double radius) const {
   std::vector<int> out;
   if (points_.empty() || radius < 0.0) return out;

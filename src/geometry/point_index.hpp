@@ -34,6 +34,17 @@ class PointIndex {
   /// All indices within `radius` of q (unsorted).
   std::vector<int> within(Vec2 q, double radius) const;
 
+  /// Append (unsorted) all indices with r_lo < |p - q| <= r_hi to `out`;
+  /// a negative r_lo includes points at distance exactly 0. Grid cells
+  /// entirely inside the r_lo disc are skipped, so expanding-ring callers
+  /// (VoronoiDiagram's candidate enumeration) never rescan the interior.
+  void append_annulus(Vec2 q, double r_lo, double r_hi,
+                      std::vector<int>& out) const;
+
+  /// Edge length of the uniform grid cells (the natural first-ring radius
+  /// for expanding searches).
+  double cell_size() const { return cell_size_; }
+
  private:
   struct CellRange {
     int begin = 0;

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include <optional>
+
+#include "exec/exec.hpp"
 #include "geometry/segment.hpp"
 #include "obs/obs.hpp"
 
@@ -235,15 +238,23 @@ ContourMap ContourMapBuilder::build(const std::vector<IsolineReport>& reports,
   obs::PhaseTimer timer(obs::kPhaseMapGen);
   obs::count("map_gen.reports", static_cast<double>(reports.size()));
   obs::count("map_gen.levels", static_cast<double>(isolevels.size()));
+  const std::size_t k = isolevels.size();
+  std::vector<std::vector<IsolineReport>> level_reports(k);
+  for (std::size_t li = 0; li < k; ++li)
+    for (const auto& r : reports)
+      if (std::abs(r.isolevel - isolevels[li]) < 1e-9)
+        level_reports[li].push_back(r);
+  // Each level's Voronoi/regulation construction is independent; build
+  // them across the pool (each slot written by exactly one task, so the
+  // result is identical to the serial loop).
+  std::vector<std::optional<LevelRegion>> slots(k);
+  exec::parallel_for(k, [&](std::size_t li) {
+    slots[li].emplace(isolevels[li], std::move(level_reports[li]), bounds_,
+                      mode_);
+  });
   std::vector<LevelRegion> regions;
-  regions.reserve(isolevels.size());
-  for (double lambda : isolevels) {
-    std::vector<IsolineReport> level_reports;
-    for (const auto& r : reports) {
-      if (std::abs(r.isolevel - lambda) < 1e-9) level_reports.push_back(r);
-    }
-    regions.emplace_back(lambda, std::move(level_reports), bounds_, mode_);
-  }
+  regions.reserve(k);
+  for (auto& slot : slots) regions.push_back(std::move(*slot));
   return ContourMap(bounds_, std::move(regions));
 }
 

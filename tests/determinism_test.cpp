@@ -1,0 +1,120 @@
+// The exec layer's hard contract: parallel execution produces bitwise-
+// identical results to ISOMAP_THREADS=1. These tests run the same
+// workloads at 1 and 4 threads and require exact equality — on counters,
+// on the sink map's Voronoi geometry, on rasterized maps and on whole
+// bench-style sweeps. Timing fields (wall_s, phase histograms) are the
+// only nondeterministic outputs and are stripped before comparison.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "eval/level_map.hpp"
+#include "eval/metrics.hpp"
+#include "exec/exec.hpp"
+#include "sim/runners.hpp"
+
+namespace isomap {
+namespace {
+
+Scenario test_scenario(std::uint64_t seed, double failures = 0.0) {
+  ScenarioConfig config;
+  config.num_nodes = 900;
+  config.field_side = 30.0;
+  config.seed = seed;
+  config.failure_fraction = failures;
+  return make_scenario(config);
+}
+
+/// Summary JSON with the timing-only fields removed: wall clock and the
+/// per-phase second histograms vary run to run even serially.
+std::string normalized_summary(obs::RunSummary summary) {
+  summary.wall_s = 0.0;
+  summary.phases.clear();
+  return summary.to_json().dump(2);
+}
+
+template <typename Fn>
+auto at_thread_count(int threads, Fn&& fn) {
+  exec::set_thread_count(threads);
+  auto result = fn();
+  exec::set_thread_count(0);
+  return result;
+}
+
+TEST(Determinism, IsoMapRunIsThreadCountInvariant) {
+  auto run_once = [] { return run_isomap(test_scenario(7), 4); };
+  const IsoMapRun serial = at_thread_count(1, run_once);
+  const IsoMapRun parallel = at_thread_count(4, run_once);
+
+  EXPECT_EQ(normalized_summary(serial.summary),
+            normalized_summary(parallel.summary));
+  EXPECT_EQ(serial.result.generated_reports, parallel.result.generated_reports);
+  EXPECT_EQ(serial.result.delivered_reports, parallel.result.delivered_reports);
+
+  // The sink map itself must match geometry-for-geometry: same Voronoi
+  // cells per level, same boundary polylines.
+  const ContourMap& a = serial.result.map;
+  const ContourMap& b = parallel.result.map;
+  ASSERT_EQ(a.level_count(), b.level_count());
+  for (int k = 0; k < a.level_count(); ++k) {
+    const VoronoiDiagram& va = a.region(k).voronoi();
+    const VoronoiDiagram& vb = b.region(k).voronoi();
+    ASSERT_EQ(va.size(), vb.size()) << "level " << k;
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      EXPECT_EQ(va.cell(i).vertices, vb.cell(i).vertices)
+          << "level " << k << " cell " << i;
+      EXPECT_EQ(va.cell(i).edge_tags, vb.cell(i).edge_tags)
+          << "level " << k << " cell " << i;
+    }
+    ASSERT_EQ(a.isolines(k).size(), b.isolines(k).size()) << "level " << k;
+    for (std::size_t p = 0; p < a.isolines(k).size(); ++p)
+      EXPECT_EQ(a.isolines(k)[p].points(), b.isolines(k)[p].points())
+          << "level " << k << " polyline " << p;
+  }
+}
+
+TEST(Determinism, RasterizeIsThreadCountInvariant) {
+  const Scenario s = test_scenario(11);
+  const auto levels = default_query(s.field, 4).isolevels();
+  auto raster = [&] {
+    return LevelMap::ground_truth(s.field, levels, 160, 160);
+  };
+  const LevelMap serial = at_thread_count(1, raster);
+  const LevelMap parallel = at_thread_count(4, raster);
+  EXPECT_EQ(serial.accuracy_against(parallel), 1.0);
+}
+
+TEST(Determinism, FiveTrialSweepIsThreadCountInvariant) {
+  // A bench-shaped sweep: five seeded trials through parallel_trials,
+  // collecting the per-trial numbers benches feed their RunningStats.
+  struct TrialOut {
+    int generated, delivered;
+    double accuracy, tx_bytes;
+    std::string summary_json;
+
+    bool operator==(const TrialOut&) const = default;
+  };
+  auto sweep = [] {
+    return exec::parallel_trials(
+        5, [](std::uint64_t t) { return t; },
+        [](int, std::uint64_t seed) {
+          const Scenario s = test_scenario(seed, 0.05);
+          const IsoMapRun run = run_isomap(s, 4);
+          return TrialOut{
+              run.result.generated_reports, run.result.delivered_reports,
+              mapping_accuracy(run.result.map, s.field,
+                               default_query(s.field, 4).isolevels(), 50),
+              run.ledger.total_tx_bytes(), normalized_summary(run.summary)};
+        });
+  };
+  const auto serial = at_thread_count(1, sweep);
+  const auto parallel = at_thread_count(4, sweep);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], parallel[i]) << "trial " << i + 1;
+}
+
+}  // namespace
+}  // namespace isomap

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "obs/obs.hpp"
+
+namespace isomap {
+namespace {
+
+/// Force a specific thread count for one test, restoring the default
+/// (env / hardware) on scope exit so tests cannot leak into each other.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n) { exec::set_thread_count(n); }
+  ~ThreadCountGuard() { exec::set_thread_count(0); }
+};
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4}) {
+    const ThreadCountGuard guard(threads);
+    std::vector<std::atomic<int>> hits(257);
+    exec::parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ZeroAndOneAreInline) {
+  const ThreadCountGuard guard(4);
+  exec::parallel_for(0, [](std::size_t) { FAIL() << "body ran for n=0"; });
+  bool on_worker = true;
+  exec::parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    on_worker = exec::on_worker_thread();
+  });
+  EXPECT_FALSE(on_worker);  // n == 1 runs inline on the caller.
+}
+
+TEST(ParallelFor, SetThreadCountOverridesEnvironment) {
+  exec::set_thread_count(3);
+  EXPECT_EQ(exec::thread_count(), 3);
+  exec::set_thread_count(0);  // Back to env / hardware default.
+  EXPECT_GE(exec::thread_count(), 1);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  for (const int threads : {1, 4}) {
+    const ThreadCountGuard guard(threads);
+    EXPECT_THROW(
+        exec::parallel_for(64,
+                           [&](std::size_t i) {
+                             if (i == 13)
+                               throw std::runtime_error("boom");
+                           }),
+        std::runtime_error);
+  }
+}
+
+TEST(ParallelFor, NestedRegionsRunInline) {
+  const ThreadCountGuard guard(4);
+  std::atomic<int> total{0};
+  exec::parallel_for(8, [&](std::size_t) {
+    EXPECT_TRUE(exec::on_worker_thread() || exec::thread_count() == 1);
+    // A nested region must not re-enter the pool; it runs serially on
+    // whichever thread is already executing the outer body.
+    exec::parallel_for(8, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelFor, PoolIsReusedAcrossRegions) {
+  const ThreadCountGuard guard(4);
+  long total = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    exec::parallel_for(100, [&](std::size_t i) {
+      sum += static_cast<long>(i);
+    });
+    EXPECT_EQ(sum.load(), 4950);
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 50 * 4950);
+}
+
+TEST(ParallelTrials, ResultsComeBackInTrialOrderWithTrialSeeds) {
+  const ThreadCountGuard guard(4);
+  const auto results = exec::parallel_trials(
+      9, [](std::uint64_t t) { return 1000 + t; },
+      [](int trial, std::uint64_t seed) {
+        return std::pair<int, std::uint64_t>(trial, seed);
+      });
+  ASSERT_EQ(results.size(), 9u);
+  for (int t = 1; t <= 9; ++t) {
+    EXPECT_EQ(results[static_cast<std::size_t>(t - 1)].first, t);
+    EXPECT_EQ(results[static_cast<std::size_t>(t - 1)].second,
+              1000u + static_cast<std::uint64_t>(t));
+  }
+}
+
+TEST(ParallelTrials, SerialAndParallelAgreeExactly) {
+  auto run = [] {
+    return exec::parallel_trials(
+        16, [](std::uint64_t t) { return t * 7919; },
+        [](int trial, std::uint64_t seed) {
+          // A seed-driven accumulation sensitive to evaluation order.
+          double x = static_cast<double>(seed % 1009) / 1009.0;
+          for (int k = 0; k < 1000; ++k)
+            x = x * 0.999 + static_cast<double>(trial) * 1e-6;
+          return x;
+        });
+  };
+  exec::set_thread_count(1);
+  const auto serial = run();
+  exec::set_thread_count(4);
+  const auto parallel = run();
+  exec::set_thread_count(0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], parallel[i]) << "trial " << i + 1;
+}
+
+TEST(ParallelTrials, ZeroTrialsYieldEmpty) {
+  const auto results = exec::parallel_trials(
+      0, [](std::uint64_t t) { return t; }, [](int, std::uint64_t) { return 1; });
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(ParallelTrials, TrialBodiesSeeNoObsContext) {
+  const ThreadCountGuard guard(4);
+  obs::MetricsRegistry metrics;
+  const obs::ObsScope outer(&metrics, nullptr);
+  const auto active = exec::parallel_trials(
+      8, [](std::uint64_t t) { return t; },
+      [](int, std::uint64_t) { return obs::active(); });
+  // The caller's metrics registry must not leak into trial bodies — a
+  // shared registry would race across worker threads.
+  for (const bool a : active) EXPECT_FALSE(a);
+  EXPECT_TRUE(obs::active());
+}
+
+}  // namespace
+}  // namespace isomap

@@ -128,5 +128,70 @@ TEST_P(VoronoiProperty, AdjacentCellsAreDelaunayNeighbours) {
 INSTANTIATE_TEST_SUITE_P(Seeds, VoronoiProperty,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+// The indexed (ring-expanding) construction must reproduce the brute-force
+// oracle bit for bit: both feed candidates in the same (distance, index)
+// order through the same clipping arithmetic.
+void expect_identical_diagrams(const std::vector<Vec2>& sites, double x0,
+                               double y0, double x1, double y1) {
+  const VoronoiDiagram indexed(sites, x0, y0, x1, y1,
+                               VoronoiConstruction::kIndexed);
+  const VoronoiDiagram brute(sites, x0, y0, x1, y1,
+                             VoronoiConstruction::kBruteForce);
+  ASSERT_EQ(indexed.size(), brute.size());
+  for (std::size_t i = 0; i < indexed.size(); ++i) {
+    EXPECT_EQ(indexed.cell(i).vertices, brute.cell(i).vertices)
+        << "cell " << i << " vertices differ";
+    EXPECT_EQ(indexed.cell(i).edge_tags, brute.cell(i).edge_tags)
+        << "cell " << i << " tags differ";
+  }
+}
+
+class VoronoiEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(VoronoiEquivalence, IndexedMatchesBruteForceOnRandomSites) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 400);
+  expect_identical_diagrams(random_sites(rng, 200, 0.0, 50.0), 0, 0, 50, 50);
+}
+
+TEST_P(VoronoiEquivalence, IndexedMatchesBruteForceWithDuplicates) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  auto sites = random_sites(rng, 60, 0.0, 20.0);
+  // Exact duplicates at both ends of the index range, plus a triple.
+  sites.push_back(sites[3]);
+  sites.push_back(sites[3]);
+  const Vec2 mid = sites[40];
+  sites.insert(sites.begin() + 10, mid);
+  expect_identical_diagrams(sites, 0, 0, 20, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VoronoiEquivalence,
+                         ::testing::Values(1, 2, 3));
+
+TEST(VoronoiEquivalence, CollinearSites) {
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 12; ++i)
+    sites.push_back({1.0 + i * 1.5, 10.0});  // One horizontal line.
+  expect_identical_diagrams(sites, 0, 0, 20, 20);
+}
+
+TEST(VoronoiEquivalence, CollinearDiagonalWithDuplicates) {
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 10; ++i)
+    sites.push_back({1.0 + i * 1.8, 1.0 + i * 1.8});
+  sites.push_back(sites[5]);
+  sites.push_back(sites[0]);
+  expect_identical_diagrams(sites, 0, 0, 20, 20);
+}
+
+TEST(VoronoiEquivalence, ClusteredSitesFarFromEmptyCorner) {
+  // All sites in one tight cluster: the ring expansion must keep growing
+  // past many empty annuli without terminating early.
+  Rng rng(42);
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 50; ++i)
+    sites.push_back({48.0 + rng.uniform(0, 1.5), 48.0 + rng.uniform(0, 1.5)});
+  expect_identical_diagrams(sites, 0, 0, 50, 50);
+}
+
 }  // namespace
 }  // namespace isomap
