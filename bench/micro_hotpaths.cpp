@@ -11,6 +11,8 @@
 
 #include "bench/bench_common.hpp"
 #include "geometry/voronoi.hpp"
+#include "isomap/node_selection.hpp"
+#include "isomap/regression.hpp"
 
 using namespace isomap;
 using namespace isomap::bench;
@@ -73,6 +75,35 @@ std::vector<std::pair<int, int>> k_hop_baseline(const CommGraph& graph, int i,
     }
   }
   return out;
+}
+
+/// The pre-banded Definition 3.1 evaluation: every level scanned.
+NodeSelectionResult selection_full_scan(const CommGraph& graph,
+                                        const std::vector<double>& readings,
+                                        int node,
+                                        const std::vector<double>& levels,
+                                        double epsilon,
+                                        std::vector<int>& admitted) {
+  admitted.clear();
+  NodeSelectionResult result;
+  const double v = readings[static_cast<std::size_t>(node)];
+  result.ops = static_cast<double>(levels.size());
+  for (std::size_t li = 0; li < levels.size(); ++li) {
+    const double lambda = levels[li];
+    if (!is_candidate(v, lambda, epsilon)) continue;
+    ++result.candidates;
+    bool crossing = false;
+    for (int nb : graph.neighbours(node)) {
+      result.ops += 2.0;
+      const double nv = readings[static_cast<std::size_t>(nb)];
+      if ((v < lambda && lambda < nv) || (nv < lambda && lambda < v)) {
+        crossing = true;
+        break;
+      }
+    }
+    if (crossing) admitted.push_back(static_cast<int>(li));
+  }
+  return result;
 }
 
 }  // namespace
@@ -140,6 +171,117 @@ int main() {
         .cell(baseline_ms, 2)
         .cell(scratch_ms, 2)
         .cell(baseline_ms / scratch_ms, 1);
+  }
+
+  // Definition 3.1 selection: full per-level scan (the pre-banded kernel)
+  // vs the binary-searched candidate window shared with the continuous
+  // engine. Identity-checked on admissions, candidates and modelled ops.
+  for (const int n : {400, 2500, 10000}) {
+    const Scenario s = harbor_scenario(n, kBenchSeed);
+    ContourQuery query = default_query(s.field, 4);
+    query.granularity /= 8.0;  // Many levels: where the scan cost lives.
+    const auto levels = query.isolevels();
+    const double eps = query.epsilon();
+    std::vector<int> banded, reference;
+    for (int i = 0; i < s.graph.size(); ++i) {
+      if (!s.graph.alive(i)) continue;
+      const NodeSelectionResult got = evaluate_node_selection(
+          s.graph, s.readings, i, levels, eps, banded);
+      const NodeSelectionResult want =
+          selection_full_scan(s.graph, s.readings, i, levels, eps, reference);
+      if (banded != reference || got.candidates != want.candidates ||
+          got.ops != want.ops) {
+        std::cerr << "[micro_hotpaths] selection mismatch at node " << i
+                  << "\n";
+        return 1;
+      }
+    }
+    volatile double sink = 0.0;
+    const double full_ms = best_ms(5, [&] {
+      double total = 0.0;
+      for (int i = 0; i < s.graph.size(); ++i) {
+        if (!s.graph.alive(i)) continue;
+        total += selection_full_scan(s.graph, s.readings, i, levels, eps,
+                                     reference)
+                     .ops;
+      }
+      sink = total;
+    });
+    const double banded_ms = best_ms(5, [&] {
+      double total = 0.0;
+      for (int i = 0; i < s.graph.size(); ++i) {
+        if (!s.graph.alive(i)) continue;
+        total +=
+            evaluate_node_selection(s.graph, s.readings, i, levels, eps,
+                                    banded)
+                .ops;
+      }
+      sink = total;
+    });
+    table.row()
+        .cell("select_def31")
+        .cell(n)
+        .cell(full_ms, 2)
+        .cell(banded_ms, 2)
+        .cell(full_ms / banded_ms, 1);
+  }
+
+  // Regression refresh: full fit_plane per round vs the continuous
+  // engine's split — position sufficient statistics computed once, only
+  // the value block and the 3x3 solve redone when readings change.
+  // Identity-checked bit for bit on the fitted plane.
+  for (const int n : {400, 2500, 10000}) {
+    const Scenario s = harbor_scenario(n, kBenchSeed);
+    std::vector<std::vector<FieldSample>> neighbourhoods;
+    for (int i = 0; i < s.graph.size(); ++i) {
+      if (!s.graph.alive(i)) continue;
+      std::vector<FieldSample> samples;
+      samples.push_back({s.deployment.node(i).reported_pos(),
+                         s.readings[static_cast<std::size_t>(i)]});
+      for (int nb : s.graph.neighbour_span(i))
+        samples.push_back({s.deployment.node(nb).reported_pos(),
+                           s.readings[static_cast<std::size_t>(nb)]});
+      neighbourhoods.push_back(std::move(samples));
+    }
+    std::vector<PlanePositionStats> pos_stats;
+    pos_stats.reserve(neighbourhoods.size());
+    for (const auto& samples : neighbourhoods)
+      pos_stats.push_back(plane_position_stats(samples));
+    for (std::size_t i = 0; i < neighbourhoods.size(); ++i) {
+      const auto full = fit_plane(neighbourhoods[i]);
+      const auto split = solve_plane(
+          pos_stats[i], plane_value_stats(neighbourhoods[i], pos_stats[i]));
+      const bool same =
+          full.has_value() == split.has_value() &&
+          (!full || (full->c0 == split->c0 && full->c1 == split->c1 &&
+                     full->c2 == split->c2));
+      if (!same) {
+        std::cerr << "[micro_hotpaths] regression split mismatch\n";
+        return 1;
+      }
+    }
+    volatile double sink = 0.0;
+    const double full_ms = best_ms(5, [&] {
+      double total = 0.0;
+      for (const auto& samples : neighbourhoods)
+        if (const auto fit = fit_plane(samples)) total += fit->c1;
+      sink = total;
+    });
+    const double split_ms = best_ms(5, [&] {
+      double total = 0.0;
+      for (std::size_t i = 0; i < neighbourhoods.size(); ++i) {
+        const auto fit = solve_plane(
+            pos_stats[i], plane_value_stats(neighbourhoods[i], pos_stats[i]));
+        if (fit) total += fit->c1;
+      }
+      sink = total;
+    });
+    table.row()
+        .cell("fit_refresh")
+        .cell(n)
+        .cell(full_ms, 2)
+        .cell(split_ms, 2)
+        .cell(full_ms / split_ms, 1);
   }
 
   emit_table("micro_hotpaths", title, table);

@@ -206,6 +206,15 @@ void LevelRegion::build_boundaries() {
 }
 
 ContourMap::ContourMap(FieldBounds bounds, std::vector<LevelRegion> regions)
+    : bounds_(bounds) {
+  regions_.reserve(regions.size());
+  for (auto& region : regions)
+    regions_.push_back(
+        std::make_shared<const LevelRegion>(std::move(region)));
+}
+
+ContourMap::ContourMap(FieldBounds bounds,
+                       std::vector<std::shared_ptr<const LevelRegion>> regions)
     : bounds_(bounds), regions_(std::move(regions)) {}
 
 int ContourMap::level_index(Vec2 q) const {
@@ -217,11 +226,11 @@ int ContourMap::level_index(Vec2 q) const {
   int level = 0;
   int pending_empty = 0;
   for (const auto& region : regions_) {
-    if (!region.has_reports()) {
+    if (!region->has_reports()) {
       ++pending_empty;
       continue;
     }
-    if (!region.contains(q)) break;
+    if (!region->contains(q)) break;
     level += pending_empty + 1;
     pending_empty = 0;
   }

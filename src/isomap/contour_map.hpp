@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "field/scalar_field.hpp"
@@ -71,10 +72,16 @@ class ContourMap {
  public:
   ContourMap(FieldBounds bounds, std::vector<LevelRegion> regions);
 
+  /// Shared-region construction: levels reused from a cache (the
+  /// continuous engine's clean isolevels) are referenced, not copied. A
+  /// LevelRegion is immutable after construction, so sharing is safe.
+  ContourMap(FieldBounds bounds,
+             std::vector<std::shared_ptr<const LevelRegion>> regions);
+
   const FieldBounds& bounds() const { return bounds_; }
   int level_count() const { return static_cast<int>(regions_.size()); }
   const LevelRegion& region(int k) const {
-    return regions_[static_cast<std::size_t>(k)];
+    return *regions_[static_cast<std::size_t>(k)];
   }
 
   /// Number of nested regions containing q: 0 means q is below the first
@@ -88,12 +95,12 @@ class ContourMap {
 
   /// Estimated isolines of level k (empty when the level had no reports).
   const std::vector<Polyline>& isolines(int k) const {
-    return regions_[static_cast<std::size_t>(k)].boundaries();
+    return regions_[static_cast<std::size_t>(k)]->boundaries();
   }
 
  private:
   FieldBounds bounds_;
-  std::vector<LevelRegion> regions_;
+  std::vector<std::shared_ptr<const LevelRegion>> regions_;
 };
 
 /// Builds ContourMaps from sink-side report sets.

@@ -27,6 +27,50 @@ bool is_candidate(double reading, double isolevel, double epsilon) {
   return std::abs(reading - isolevel) <= epsilon;
 }
 
+std::pair<int, int> level_rank(const std::vector<double>& levels, double v) {
+  const auto lb = std::lower_bound(levels.begin(), levels.end(), v);
+  const auto ub = std::upper_bound(levels.begin(), levels.end(), v);
+  return {static_cast<int>(lb - levels.begin()),
+          static_cast<int>(ub - levels.begin())};
+}
+
+NodeSelectionResult evaluate_node_selection(const CommGraph& graph,
+                                            const std::vector<double>& readings,
+                                            int node,
+                                            const std::vector<double>& levels,
+                                            double epsilon,
+                                            std::vector<int>& admitted) {
+  admitted.clear();
+  NodeSelectionResult result;
+  const double v = readings[static_cast<std::size_t>(node)];
+  // The modelled charge covers the full per-level candidate scan a real
+  // node performs; the banded window below is a simulator shortcut that
+  // provably visits every candidate level (see the header comment).
+  result.ops = static_cast<double>(levels.size());
+  auto lo = std::lower_bound(levels.begin(), levels.end(), v - epsilon);
+  auto hi = std::upper_bound(levels.begin(), levels.end(), v + epsilon);
+  if (lo != levels.begin()) --lo;
+  if (hi != levels.end()) ++hi;
+  const auto neighbours = graph.neighbour_span(node);
+  for (auto it = lo; it != hi; ++it) {
+    const double lambda = *it;
+    if (!is_candidate(v, lambda, epsilon)) continue;
+    ++result.candidates;
+    // Check the crossing condition against 1-hop neighbours.
+    bool crossing = false;
+    for (int nb : neighbours) {
+      result.ops += 2.0;
+      const double nv = readings[static_cast<std::size_t>(nb)];
+      if ((v < lambda && lambda < nv) || (nv < lambda && lambda < v)) {
+        crossing = true;
+        break;
+      }
+    }
+    if (crossing) admitted.push_back(static_cast<int>(it - levels.begin()));
+  }
+  return result;
+}
+
 bool is_isoline_node(double reading,
                      const std::vector<double>& neighbour_readings,
                      double isolevel, double epsilon) {
@@ -58,7 +102,7 @@ std::vector<SelectionEntry> select_isoline_nodes_adaptive(
     // Local slope estimate from the steepest 1-hop difference.
     double slope = 0.0;
     double ops = 0.0;
-    for (int nb : graph.neighbours(node)) {
+    for (int nb : graph.neighbour_span(node)) {
       ops += 4.0;
       const double dist = pos.distance_to(deployment.node(nb).pos);
       if (dist <= 1e-9) continue;
@@ -74,7 +118,7 @@ std::vector<SelectionEntry> select_isoline_nodes_adaptive(
       if (!is_candidate(v, lambda, eps)) continue;
       ++candidates;
       bool crossing = false;
-      for (int nb : graph.neighbours(node)) {
+      for (int nb : graph.neighbour_span(node)) {
         ops += 2.0;
         const double nv = readings[static_cast<std::size_t>(nb)];
         if ((v < lambda && lambda < nv) || (nv < lambda && lambda < v)) {
@@ -106,29 +150,19 @@ std::vector<SelectionEntry> select_isoline_nodes(
   if (ops_per_node)
     ops_per_node->assign(static_cast<std::size_t>(graph.size()), 0.0);
 
+  std::vector<int> admitted;
   for (int node = 0; node < graph.size(); ++node) {
     if (!graph.alive(node)) continue;
-    const double v = readings[static_cast<std::size_t>(node)];
-    double ops = static_cast<double>(levels.size());  // Candidate scans.
-    for (double lambda : levels) {
-      if (!is_candidate(v, lambda, eps)) continue;
-      ++candidates;
-      // Check the crossing condition against 1-hop neighbours.
-      bool crossing = false;
-      for (int nb : graph.neighbours(node)) {
-        ops += 2.0;
-        const double nv = readings[static_cast<std::size_t>(nb)];
-        if ((v < lambda && lambda < nv) || (nv < lambda && lambda < v)) {
-          crossing = true;
-          break;
-        }
-      }
-      if (crossing) {
-        selected.push_back({node, lambda});
-        trace_selection(sink, node, lambda);
-      }
+    const NodeSelectionResult result =
+        evaluate_node_selection(graph, readings, node, levels, eps, admitted);
+    candidates += static_cast<std::size_t>(result.candidates);
+    for (int idx : admitted) {
+      const double lambda = levels[static_cast<std::size_t>(idx)];
+      selected.push_back({node, lambda});
+      trace_selection(sink, node, lambda);
     }
-    if (ops_per_node) (*ops_per_node)[static_cast<std::size_t>(node)] = ops;
+    if (ops_per_node)
+      (*ops_per_node)[static_cast<std::size_t>(node)] = result.ops;
   }
   if (candidates > 0)
     obs::count("select.candidates", static_cast<double>(candidates));

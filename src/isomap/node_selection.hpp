@@ -1,5 +1,6 @@
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "isomap/query.hpp"
@@ -47,6 +48,44 @@ std::vector<SelectionEntry> select_isoline_nodes_adaptive(
     const CommGraph& graph, const Deployment& deployment,
     const std::vector<double>& readings, const ContourQuery& query,
     double strip_width, std::vector<double>* ops_per_node = nullptr);
+
+/// Modelled cost and candidate count of one node's Definition 3.1
+/// evaluation (the admitted level indices go to a caller-owned vector).
+struct NodeSelectionResult {
+  double ops = 0.0;    ///< Modelled arithmetic charge for the node.
+  int candidates = 0;  ///< Levels whose ε-band contains the reading.
+};
+
+/// Evaluate Definition 3.1 for one node against every level: `admitted`
+/// receives the indices (into `levels`, ascending) the node self-selects
+/// for. Shared by select_isoline_nodes and the continuous mapper's
+/// incremental engine, so both produce identical entries, ops and
+/// candidate counts by construction.
+///
+/// `levels` must be ascending (ContourQuery::isolevels() is). The level
+/// loop runs over a banded candidate window located by binary search and
+/// widened by one level per side; |reading - λ| <= ε stays the deciding
+/// comparison for every level in the window, and the widening means a
+/// borderline band-edge comparison can never be missed — the comparison
+/// and the window arithmetic only disagree within rounding error of the
+/// band edge, while any level outside the widened window sits a full
+/// granularity beyond it. The admitted set, candidate count and modelled
+/// ops are therefore exactly those of the full level scan.
+NodeSelectionResult evaluate_node_selection(const CommGraph& graph,
+                                            const std::vector<double>& readings,
+                                            int node,
+                                            const std::vector<double>& levels,
+                                            double epsilon,
+                                            std::vector<int>& admitted);
+
+/// Relation signature of a reading against the ascending level list:
+/// (#levels < v, #levels <= v). Two readings with equal signatures
+/// compare identically (<, ==, >) against every level — exactly the
+/// predicates Definition 3.1's crossing test uses — so swapping one for
+/// the other cannot change any neighbour's selection outcome. The
+/// incremental continuous engine uses this to decide whether a changed
+/// reading can affect Definition 3.1 at all.
+std::pair<int, int> level_rank(const std::vector<double>& levels, double v);
 
 /// Candidate test for a single node/level (step 1 only); exposed for tests.
 bool is_candidate(double reading, double isolevel, double epsilon);

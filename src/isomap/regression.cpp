@@ -32,6 +32,65 @@ bool solve3x3(double a[3][3], double b[3], double x[3]) {
   return true;
 }
 
+PlanePositionStats plane_position_stats(
+    const std::vector<FieldSample>& samples) {
+  // Centre the coordinates on the sample mean for numerical stability
+  // (the fitted gradient is translation-invariant; c0 is shifted back in
+  // solve_plane). Each sum accumulates its own addend sequence in sample
+  // order, so splitting position and value accumulation into separate
+  // loops leaves every individual sum — and hence the fit — bit-for-bit
+  // what the original single-loop accumulation produced.
+  PlanePositionStats stats;
+  stats.n = samples.size();
+  for (const auto& s : samples) stats.mean += s.pos;
+  if (stats.n > 0) stats.mean *= 1.0 / static_cast<double>(stats.n);
+  for (const auto& s : samples) {
+    const double x = s.pos.x - stats.mean.x;
+    const double y = s.pos.y - stats.mean.y;
+    stats.sx += x;
+    stats.sy += y;
+    stats.sxx += x * x;
+    stats.sxy += x * y;
+    stats.syy += y * y;
+  }
+  return stats;
+}
+
+PlaneValueStats plane_value_stats(const std::vector<FieldSample>& samples,
+                                  const PlanePositionStats& pos) {
+  PlaneValueStats stats;
+  for (const auto& s : samples) stats.mean_v += s.value;
+  if (pos.n > 0) stats.mean_v *= 1.0 / static_cast<double>(pos.n);
+  for (const auto& s : samples) {
+    const double x = s.pos.x - pos.mean.x;
+    const double y = s.pos.y - pos.mean.y;
+    const double v = s.value - stats.mean_v;
+    stats.sv += v;
+    stats.sxv += x * v;
+    stats.syv += y * v;
+  }
+  return stats;
+}
+
+std::optional<PlaneFit> solve_plane(const PlanePositionStats& pos,
+                                    const PlaneValueStats& val) {
+  if (pos.n < 3) return std::nullopt;
+  const auto n = static_cast<double>(pos.n);
+  double a[3][3] = {{n, pos.sx, pos.sy},
+                    {pos.sx, pos.sxx, pos.sxy},
+                    {pos.sy, pos.sxy, pos.syy}};
+  double b[3] = {val.sv, val.sxv, val.syv};
+  double w[3];
+  if (!solve3x3(a, b, w)) return std::nullopt;
+
+  PlaneFit fit;
+  fit.c1 = w[1];
+  fit.c2 = w[2];
+  // Un-centre the intercept: v = mean_v + w0 + c1 (x - mx) + c2 (y - my).
+  fit.c0 = val.mean_v + w[0] - fit.c1 * pos.mean.x - fit.c2 * pos.mean.y;
+  return fit;
+}
+
 std::optional<PlaneFit> fit_plane(const std::vector<FieldSample>& samples,
                                   double* ops) {
   // Scope-size and degeneracy metrics for the RunSummary (one registry
@@ -45,55 +104,14 @@ std::optional<PlaneFit> fit_plane(const std::vector<FieldSample>& samples,
     return std::nullopt;
   }
 
-  // Accumulate the normal-equation sums of Eq. 2. Centre the coordinates
-  // on the sample mean for numerical stability (the fitted gradient is
-  // translation-invariant; c0 is shifted back afterwards).
-  Vec2 mean{};
-  double mean_v = 0.0;
-  for (const auto& s : samples) {
-    mean += s.pos;
-    mean_v += s.value;
-  }
-  const double inv_n = 1.0 / static_cast<double>(samples.size());
-  mean *= inv_n;
-  mean_v *= inv_n;
-
-  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
-  double sv = 0.0, sxv = 0.0, syv = 0.0;
-  for (const auto& s : samples) {
-    const double x = s.pos.x - mean.x;
-    const double y = s.pos.y - mean.y;
-    const double v = s.value - mean_v;
-    sx += x;
-    sy += y;
-    sxx += x * x;
-    sxy += x * y;
-    syy += y * y;
-    sv += v;
-    sxv += x * v;
-    syv += y * v;
-  }
-
-  const auto n = static_cast<double>(samples.size());
-  double a[3][3] = {{n, sx, sy}, {sx, sxx, sxy}, {sy, sxy, syy}};
-  double b[3] = {sv, sxv, syv};
-  double w[3];
-  if (!solve3x3(a, b, w)) {
+  const PlanePositionStats pos = plane_position_stats(samples);
+  const PlaneValueStats val = plane_value_stats(samples, pos);
+  const auto fit = solve_plane(pos, val);
+  if (!fit) {
     obs::count("regression.degenerate");
     return std::nullopt;
   }
-
-  PlaneFit fit;
-  fit.c1 = w[1];
-  fit.c2 = w[2];
-  // Un-centre the intercept: v = mean_v + w0 + c1 (x - mx) + c2 (y - my).
-  fit.c0 = mean_v + w[0] - fit.c1 * mean.x - fit.c2 * mean.y;
-
-  if (ops) {
-    // ~12 multiply-adds per sample for the sums plus a constant ~40 for
-    // the 3x3 solve — the O(deg) cost quoted in Section 4.2.
-    *ops += 12.0 * n + 40.0;
-  }
+  if (ops) *ops += fit_plane_ops(samples.size());
   return fit;
 }
 

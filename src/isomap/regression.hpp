@@ -27,10 +27,59 @@ struct PlaneFit {
   Vec2 descent_direction() const { return {-c1, -c2}; }
 };
 
+/// Position block of the centred sufficient statistics behind fit_plane
+/// (the normal-equation sums of Eq. 2): sample count, mean position, and
+/// the centred position sums. A sensor's own and its neighbours'
+/// positions never change between continuous-mapping rounds, so this
+/// block is computed once per node and reused verbatim — recomputing it
+/// from the same positions in the same order yields the same bits, which
+/// is what makes the cached path bitwise-identical to a fresh fit.
+struct PlanePositionStats {
+  std::size_t n = 0;   ///< Sample count.
+  Vec2 mean{};         ///< Mean sample position.
+  double sx = 0.0, sy = 0.0;               ///< Centred first-order sums.
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;  ///< Centred second-order sums.
+};
+
+/// Value block of the sufficient statistics: mean reading and the centred
+/// value sums. Depends on every sample's reading (the centring couples
+/// them through mean_v), so it is recomputed — in O(n) with ~half the
+/// arithmetic of a full fit — whenever any reading in the sample set
+/// changed.
+struct PlaneValueStats {
+  double mean_v = 0.0;
+  double sv = 0.0, sxv = 0.0, syv = 0.0;
+};
+
+/// Accumulate the position block over `samples` in order.
+PlanePositionStats plane_position_stats(const std::vector<FieldSample>& samples);
+
+/// Accumulate the value block over `samples` in order, centring positions
+/// on `pos.mean`. The samples must be the ones `pos` was built from.
+PlaneValueStats plane_value_stats(const std::vector<FieldSample>& samples,
+                                  const PlanePositionStats& pos);
+
+/// Solve the 3x3 normal equations assembled from the two blocks. Returns
+/// nullopt on degeneracy (fewer than 3 samples, or collinear positions).
+/// Pure arithmetic: no observability emission, no ops accounting — use
+/// fit_plane for the fully instrumented single-shot path.
+std::optional<PlaneFit> solve_plane(const PlanePositionStats& pos,
+                                    const PlaneValueStats& val);
+
+/// Arithmetic-operation charge of one plane fit over n samples: ~12
+/// multiply-adds per sample for the sums plus a constant ~40 for the 3x3
+/// solve — the O(deg) cost quoted in Section 4.2. The charge is a
+/// function of the sample count only, so a cached fit replays it exactly.
+inline double fit_plane_ops(std::size_t n_samples) {
+  return 12.0 * static_cast<double>(n_samples) + 40.0;
+}
+
 /// Least-squares plane fit through the samples by solving the 3x3 normal
 /// equations A w = b of Eq. 2 (Section 3.3). Returns nullopt when the
 /// samples are degenerate (fewer than 3, or collinear positions), in which
-/// case no gradient estimate exists.
+/// case no gradient estimate exists. Implemented as
+/// plane_position_stats + plane_value_stats + solve_plane, so callers
+/// holding a cached position block reproduce this function bit for bit.
 ///
 /// `ops` (if non-null) is incremented with the arithmetic-operation count,
 /// which the protocol charges to the node's compute ledger — this is the

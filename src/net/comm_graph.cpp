@@ -61,6 +61,17 @@ CommGraph::CommGraph(const Deployment& deployment, double radio_range)
     auto& adj = adjacency_[static_cast<std::size_t>(node.id)];
     std::sort(adj.begin(), adj.end());
   }
+
+  csr_offsets_.resize(n + 1, 0);
+  std::size_t total_edges = 0;
+  for (std::size_t i = 0; i < n; ++i) total_edges += adjacency_[i].size();
+  csr_edges_.reserve(total_edges);
+  for (std::size_t i = 0; i < n; ++i) {
+    csr_offsets_[i] = static_cast<int>(csr_edges_.size());
+    csr_edges_.insert(csr_edges_.end(), adjacency_[i].begin(),
+                      adjacency_[i].end());
+  }
+  csr_offsets_[n] = static_cast<int>(csr_edges_.size());
 }
 
 double CommGraph::average_degree() const {
@@ -115,7 +126,7 @@ std::vector<std::pair<int, int>> CommGraph::k_hop_neighbours_with_distance(
   for (std::size_t head = 0; head < s.queue.size(); ++head) {
     const int u = s.queue[head];
     if (s.hop[static_cast<std::size_t>(u)] >= k) continue;
-    for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+    for (int v : neighbour_span(u)) {
       if (s.stamp[static_cast<std::size_t>(v)] == s.epoch) continue;
       s.stamp[static_cast<std::size_t>(v)] = s.epoch;
       s.hop[static_cast<std::size_t>(v)] = s.hop[static_cast<std::size_t>(u)] + 1;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -23,6 +24,22 @@ class CommGraph {
     return adjacency_[static_cast<std::size_t>(i)];
   }
 
+  /// CSR view of node i's neighbour list: a contiguous slice of one flat
+  /// edge array shared by the whole graph. Same ids, same (ascending)
+  /// order as neighbours(i); the flat layout keeps the per-node selection
+  /// and regression loops on one cache-friendly array instead of chasing
+  /// a vector-of-vectors.
+  std::span<const int> neighbour_span(int i) const {
+    const auto u = static_cast<std::size_t>(i);
+    return {csr_edges_.data() + csr_offsets_[u],
+            csr_edges_.data() + csr_offsets_[u + 1]};
+  }
+
+  /// CSR arrays: offsets_[i]..offsets_[i+1] indexes node i's slice of the
+  /// flat edge array (offsets has size() + 1 entries).
+  const std::vector<int>& csr_offsets() const { return csr_offsets_; }
+  const std::vector<int>& csr_edges() const { return csr_edges_; }
+
   int degree(int i) const {
     return static_cast<int>(adjacency_[static_cast<std::size_t>(i)].size());
   }
@@ -45,6 +62,10 @@ class CommGraph {
  private:
   double radio_range_;
   std::vector<std::vector<int>> adjacency_;
+  /// CSR mirror of adjacency_: csr_edges_ concatenates the per-node
+  /// neighbour lists in node order; csr_offsets_[i] is node i's start.
+  std::vector<int> csr_offsets_;
+  std::vector<int> csr_edges_;
   std::vector<bool> alive_;
 };
 

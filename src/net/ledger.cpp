@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "net/comm_graph.hpp"
 #include "obs/obs.hpp"
 
 namespace isomap {
@@ -74,6 +75,56 @@ void Ledger::transmit_lost(int from, double bytes) {
     event.node = from;
     event.tx_bytes = bytes;
     sink->emit(event);
+  }
+}
+
+double Ledger::broadcast_all(const CommGraph& graph, double bytes) {
+  if (graph.size() != size())
+    throw std::invalid_argument("Ledger::broadcast_all: graph size mismatch");
+  check_amount(bytes, "broadcast_all");
+  obs::TraceSink* const sink = obs::trace();
+  double total = 0.0;
+  for (int v = 0; v < graph.size(); ++v) {
+    if (!graph.alive(v)) continue;
+    // Adjacency is alive-only and fixed after construction, so node v
+    // receives exactly one beacon per listed neighbour: charge rx as one
+    // degree product instead of walking every edge. O(n) per round, not
+    // O(n + E).
+    const double rx = bytes * static_cast<double>(graph.degree(v));
+    tx_bytes_[static_cast<std::size_t>(v)] += bytes;
+    rx_bytes_[static_cast<std::size_t>(v)] += rx;
+    total += bytes;
+    if (sink != nullptr) {
+      obs::TraceEvent event;
+      event.phase = obs::current_phase();
+      event.node = v;
+      event.tx_bytes = bytes;
+      event.rx_bytes = rx;
+      sink->emit(event);
+    }
+  }
+  return total;
+}
+
+void Ledger::compute_all(const CommGraph& graph,
+                         const std::vector<double>& ops) {
+  if (graph.size() != size())
+    throw std::invalid_argument("Ledger::compute_all: graph size mismatch");
+  if (ops.size() < static_cast<std::size_t>(size()))
+    throw std::invalid_argument("Ledger::compute_all: ops vector too short");
+  obs::TraceSink* const sink = obs::trace();
+  for (int v = 0; v < graph.size(); ++v) {
+    if (!graph.alive(v)) continue;
+    const double amount = ops[static_cast<std::size_t>(v)];
+    check_amount(amount, "compute_all");
+    ops_[static_cast<std::size_t>(v)] += amount;
+    if (sink != nullptr) {
+      obs::TraceEvent event;
+      event.phase = obs::current_phase();
+      event.node = v;
+      event.ops = amount;
+      sink->emit(event);
+    }
   }
 }
 

@@ -5,6 +5,8 @@
 
 namespace isomap {
 
+class CommGraph;
+
 /// Per-node accounting of communication (bytes transmitted/received per
 /// hop) and computation (arithmetic operations). Every protocol run —
 /// Iso-Map and all baselines — charges its costs here so Figs. 14-16 read
@@ -35,6 +37,22 @@ class Ledger {
 
   /// Charge `ops` arithmetic operations to node `node`.
   void compute(int node, double ops);
+
+  /// One beacon of `bytes` from every alive node of `graph` to all its
+  /// neighbours. The graph's adjacency is alive-only and immutable, so
+  /// node v's reception charge is posted as one `bytes * degree(v)`
+  /// product rather than per edge — O(n) per call, with the same trace
+  /// events (one per sender, rx_bytes = bytes * degree) as the per-edge
+  /// walk. For integer byte sizes (every charge in this codebase) the
+  /// accumulated totals are bit-identical to per-edge accumulation; a
+  /// non-representable bytes * degree may differ from an edge-at-a-time
+  /// sum in the last ulp. Returns the total bytes transmitted,
+  /// accumulated one beacon at a time.
+  double broadcast_all(const CommGraph& graph, double bytes);
+
+  /// Charge ops[v] arithmetic operations to every alive node v of
+  /// `graph` in id order; identical to per-node compute() calls.
+  void compute_all(const CommGraph& graph, const std::vector<double>& ops);
 
   double tx_bytes(int node) const { return tx_bytes_[static_cast<std::size_t>(node)]; }
   double rx_bytes(int node) const { return rx_bytes_[static_cast<std::size_t>(node)]; }

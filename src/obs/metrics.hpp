@@ -42,6 +42,16 @@ class MetricsRegistry {
     histograms_[name].push_back(value);
   }
 
+  /// Stable references to a counter's / histogram's storage, for hot
+  /// loops that would otherwise pay a map lookup per emission. std::map
+  /// nodes never move, so the reference stays valid for the registry's
+  /// lifetime. Looking a slot up creates it (counter 0 / empty
+  /// histogram), exactly as add()/observe() would.
+  double& counter_slot(const std::string& name) { return counters_[name]; }
+  std::vector<double>& histogram_slot(const std::string& name) {
+    return histograms_[name];
+  }
+
   double counter(const std::string& name) const;
   double gauge(const std::string& name) const;
   /// Snapshot of one histogram (zeros when absent).

@@ -202,5 +202,87 @@ TEST_P(SelectionProperty, EverySelectedLevelIsQueried) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SelectionProperty,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+TEST(LevelRank, CountsStrictAndInclusiveRelations) {
+  const std::vector<double> levels = {0.0, 10.0, 20.0, 30.0, 40.0};
+  EXPECT_EQ(level_rank(levels, -5.0), std::make_pair(0, 0));
+  EXPECT_EQ(level_rank(levels, 0.0), std::make_pair(0, 1));
+  EXPECT_EQ(level_rank(levels, 5.0), std::make_pair(1, 1));
+  EXPECT_EQ(level_rank(levels, 10.0), std::make_pair(1, 2));
+  EXPECT_EQ(level_rank(levels, 39.9), std::make_pair(4, 4));
+  EXPECT_EQ(level_rank(levels, 45.0), std::make_pair(5, 5));
+  // Equal ranks <=> identical <,==,> relations against every level: the
+  // tiniest step across a level changes the rank.
+  EXPECT_NE(level_rank(levels, 20.0),
+            level_rank(levels, std::nextafter(20.0, 0.0)));
+}
+
+/// The pre-window full scan of Definition 3.1 — the reference the banded
+/// kernel must reproduce term for term (admissions, candidates, ops).
+NodeSelectionResult full_scan_selection(const CommGraph& graph,
+                                        const std::vector<double>& readings,
+                                        int node,
+                                        const std::vector<double>& levels,
+                                        double epsilon,
+                                        std::vector<int>& admitted) {
+  admitted.clear();
+  NodeSelectionResult result;
+  const double v = readings[static_cast<std::size_t>(node)];
+  result.ops = static_cast<double>(levels.size());
+  for (std::size_t li = 0; li < levels.size(); ++li) {
+    const double lambda = levels[li];
+    if (!is_candidate(v, lambda, epsilon)) continue;
+    ++result.candidates;
+    bool crossing = false;
+    for (int nb : graph.neighbours(node)) {
+      result.ops += 2.0;
+      const double nv = readings[static_cast<std::size_t>(nb)];
+      if ((v < lambda && lambda < nv) || (nv < lambda && lambda < v)) {
+        crossing = true;
+        break;
+      }
+    }
+    if (crossing) admitted.push_back(static_cast<int>(li));
+  }
+  return result;
+}
+
+TEST(BandedSelection, MatchesFullScanIncludingBandEdges) {
+  // Readings seeded uniformly plus a heavy dose of exact band-edge and
+  // exact-level values (including one-ulp perturbations): the banded
+  // window must agree with the full level scan on every node.
+  const Scenario s = default_scenario(800, 9);
+  const ContourQuery query = default_query(s.field, 5);
+  const auto levels = query.isolevels();
+  const double eps = query.epsilon();
+
+  std::vector<double> readings = s.readings;
+  Rng rng(123);
+  for (double& v : readings) {
+    const double roll = rng.uniform();
+    if (roll < 0.4) continue;  // Keep the field reading.
+    const std::size_t li =
+        static_cast<std::size_t>(rng.uniform(0.0, 0.999) *
+                                 static_cast<double>(levels.size()));
+    const double lambda = levels[li];
+    if (roll < 0.55) v = lambda + eps;            // Exactly on the edge.
+    else if (roll < 0.7) v = lambda - eps;
+    else if (roll < 0.8) v = lambda;              // Exactly on the level.
+    else if (roll < 0.9) v = std::nextafter(lambda + eps, 1e30);
+    else v = std::nextafter(lambda - eps, -1e30);
+  }
+
+  std::vector<int> banded, reference;
+  for (int node = 0; node < s.graph.size(); ++node) {
+    if (!s.graph.alive(node)) continue;
+    const NodeSelectionResult got =
+        evaluate_node_selection(s.graph, readings, node, levels, eps, banded);
+    const NodeSelectionResult want =
+        full_scan_selection(s.graph, readings, node, levels, eps, reference);
+    EXPECT_EQ(banded, reference) << "node " << node;
+    EXPECT_EQ(got.candidates, want.candidates) << "node " << node;
+    EXPECT_DOUBLE_EQ(got.ops, want.ops) << "node " << node;
+  }
+}
+
 }  // namespace
 }  // namespace isomap
