@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <stdexcept>
 
 #include "exec/exec.hpp"
 #include "isomap/filter.hpp"
@@ -394,21 +395,30 @@ ContourMap ContinuousMapper::build_map_incremental(
 
 RoundResult ContinuousMapper::round(const ScalarField& field_now,
                                     Ledger& ledger) {
+  std::vector<double> readings(static_cast<std::size_t>(deployment_->size()),
+                               0.0);
+  for (const auto& node : deployment_->nodes())
+    if (node.alive)
+      readings[static_cast<std::size_t>(node.id)] = field_now.value(node.pos);
+  return round(readings, ledger);
+}
+
+RoundResult ContinuousMapper::round(const std::vector<double>& readings,
+                                    Ledger& ledger) {
   const int n = deployment_->size();
+  if (static_cast<int>(readings.size()) != n)
+    throw std::invalid_argument(
+        "ContinuousMapper::round: readings size must equal the deployment");
   const ContourQuery& query = options_.base.query;
   ensure_tables();
   ++round_counter_;
   obs_slots_ = RegressionObsSlots{};  // The registry can change per round.
   const bool incremental = options_.engine == ContinuousEngine::kIncremental;
 
-  // --- Sense and beacon. ---
-  std::vector<double> readings(static_cast<std::size_t>(n), 0.0);
+  // --- Beacon (readings were sensed by the caller). ---
   double beacon_bytes = 0.0;
   {
     const obs::PhaseTimer timer(obs::kPhaseDisseminate);
-    for (const auto& node : deployment_->nodes())
-      if (node.alive)
-        readings[static_cast<std::size_t>(node.id)] = field_now.value(node.pos);
     beacon_bytes = ledger.broadcast_all(*graph_, options_.beacon_bytes);
   }
 

@@ -105,6 +105,13 @@ class ContinuousMapper {
   /// order; all node costs are charged to `ledger`.
   RoundResult round(const ScalarField& field_now, Ledger& ledger);
 
+  /// Run one round from pre-sensed per-node readings (indexed by node
+  /// id; dead nodes' entries are ignored — pass 0.0). This is the
+  /// primitive the field overload wraps after sampling, and the
+  /// injection point capsule replay uses to re-feed recorded readings
+  /// (see sim/run_capsule.hpp). Size must equal the deployment's.
+  RoundResult round(const std::vector<double>& readings, Ledger& ledger);
+
   /// Current number of (node, level) entries at the sink.
   int sink_table_size() const { return sink_count_; }
 

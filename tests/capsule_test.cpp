@@ -1,0 +1,359 @@
+// Capsule codec + run-capsule record/replay tests.
+//
+// The fuzz-ish decoder cases (TruncationNeverCrashes / ByteFlips...) are
+// the untrusted-input contract: decoding arbitrary bytes must either
+// succeed or throw CapsuleError — never crash, never read out of bounds.
+// The sanitizer CI job runs this binary under ASan/UBSan to enforce the
+// "never" part. GoldenCorpusReplays makes the tests/golden/ corpus a
+// tier-1 gate as well as a CI job.
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+#include "sim/run_capsule.hpp"
+#include "sim/runners.hpp"
+#include "util/capsule.hpp"
+
+namespace isomap::capsule {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Codec primitives.
+
+TEST(CapsuleCodec, VarintRoundTrip) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  0xDEADBEEFULL,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  Writer w;
+  for (std::uint64_t v : values) w.put_u64(v);
+  Reader r(w.bytes());
+  for (std::uint64_t v : values) EXPECT_EQ(r.get_u64(), v);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CapsuleCodec, ZigzagRoundTrip) {
+  const std::int64_t values[] = {0,
+                                 -1,
+                                 1,
+                                 -64,
+                                 64,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  Writer w;
+  for (std::int64_t v : values) w.put_i64(v);
+  Reader r(w.bytes());
+  for (std::int64_t v : values) EXPECT_EQ(r.get_i64(), v);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CapsuleCodec, F64BitExact) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::nextafter(1.0, 2.0)};
+  Writer w;
+  for (double v : values) w.put_f64(v);
+  EXPECT_EQ(w.size(), 8 * std::size(values));  // fixed width, not varint
+  Reader r(w.bytes());
+  for (double v : values) {
+    const double got = r.get_f64();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got),
+              std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(CapsuleCodec, StringsAndBools) {
+  Writer w;
+  w.put_bool(true);
+  w.put_string("");
+  w.put_string(std::string("bin\0ary\n", 8));
+  w.put_bool(false);
+  Reader r(w.bytes());
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), std::string("bin\0ary\n", 8));
+  EXPECT_FALSE(r.get_bool());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CapsuleCodec, MalformedVarintsThrow) {
+  // Unterminated: continuation bit set on every byte.
+  const std::string unterminated(11, '\x80');
+  EXPECT_THROW(Reader(unterminated).get_u64(), CapsuleError);
+  // Ten full groups overflow 64 bits unless the last is 0 or 1.
+  std::string overflow(9, '\x80');
+  overflow += '\x02';
+  EXPECT_THROW(Reader(overflow).get_u64(), CapsuleError);
+  // Truncated mid-varint.
+  EXPECT_THROW(Reader(std::string(1, '\x80')).get_u64(), CapsuleError);
+  // Truncated fixed-width / length-prefixed reads.
+  EXPECT_THROW(Reader(std::string(7, 'x')).get_f64(), CapsuleError);
+  Writer w;
+  w.put_string("hello");
+  EXPECT_THROW(Reader(std::string_view(w.bytes()).substr(0, 3)).get_string(),
+               CapsuleError);
+  // Boolean out of range.
+  EXPECT_THROW(Reader(std::string(1, '\x02')).get_bool(), CapsuleError);
+}
+
+TEST(CapsuleCodec, CountGuards) {
+  Writer w;
+  w.put_u64(1000);
+  Reader r1(w.bytes());
+  EXPECT_THROW(r1.get_count(999), CapsuleError);
+  // 1000 items of >= 8 bytes each cannot fit in a 2-byte buffer.
+  Reader r2(w.bytes());
+  EXPECT_THROW(r2.get_count(100000, 8), CapsuleError);
+}
+
+// ---------------------------------------------------------------------------
+// Container framing.
+
+TEST(CapsuleContainer, RoundTripAndFind) {
+  Capsule c;
+  c.add(7, "alpha");
+  c.add(3, std::string("\0\x80payload", 9));
+  const std::string bytes = c.encode();
+  const Capsule back = Capsule::decode(bytes);
+  EXPECT_EQ(back.version, kFormatVersion);
+  ASSERT_EQ(back.sections.size(), 2u);
+  ASSERT_NE(back.find(3), nullptr);
+  EXPECT_EQ(back.find(3)->payload, std::string("\0\x80payload", 9));
+  EXPECT_EQ(back.find(42), nullptr);
+  // Canonical: re-encoding a decoded capsule reproduces the bytes.
+  EXPECT_EQ(back.encode(), bytes);
+}
+
+TEST(CapsuleContainer, RejectsBadMagicAndVersions) {
+  EXPECT_THROW(Capsule::decode(""), CapsuleError);
+  EXPECT_THROW(Capsule::decode("not a capsule at all"), CapsuleError);
+  std::string bytes = Capsule{}.encode();
+  bytes[0] ^= 0x01;
+  EXPECT_THROW(Capsule::decode(bytes), CapsuleError);
+
+  const std::string magic(kMagic, sizeof(kMagic));
+  EXPECT_THROW(Capsule::decode(magic + '\x00'), CapsuleError);  // version 0
+  EXPECT_THROW(Capsule::decode(magic + '\x63'), CapsuleError);  // version 99
+  EXPECT_THROW(Capsule::decode(magic), CapsuleError);  // missing version
+}
+
+TEST(CapsuleContainer, RejectsTruncatedSection) {
+  Capsule c;
+  c.add(1, "0123456789");
+  const std::string bytes = c.encode();
+  // magic + version alone is a valid empty capsule; every longer prefix
+  // cuts the section mid-frame and must throw.
+  EXPECT_TRUE(Capsule::decode(bytes.substr(0, sizeof(kMagic) + 1))
+                  .sections.empty());
+  for (std::size_t cut = sizeof(kMagic) + 2; cut < bytes.size(); ++cut)
+    EXPECT_THROW(Capsule::decode(bytes.substr(0, cut)), CapsuleError)
+        << "prefix of " << cut << " bytes decoded";
+}
+
+// ---------------------------------------------------------------------------
+// Run-capsule fixtures.
+
+std::vector<double> sense(const Scenario& scenario) {
+  std::vector<double> readings(
+      static_cast<std::size_t>(scenario.deployment.size()), 0.0);
+  for (const auto& node : scenario.deployment.nodes())
+    if (node.alive)
+      readings[static_cast<std::size_t>(node.id)] =
+          scenario.field.value(node.pos);
+  return readings;
+}
+
+RunCapsule small_single_shot() {
+  ScenarioConfig config;
+  config.num_nodes = 64;
+  config.field_side = 8.0;
+  config.seed = 3;
+  const Scenario scenario = make_scenario(config);
+  return record_single_shot(scenario, isomap_options(scenario, 3),
+                            "test: small single shot");
+}
+
+RunCapsule small_continuous() {
+  ScenarioConfig config;
+  config.num_nodes = 64;
+  config.field_side = 8.0;
+  config.seed = 5;
+  const Scenario scenario = make_scenario(config);
+  ContinuousOptions options;
+  options.base = isomap_options(scenario, 3);
+  options.engine = ContinuousEngine::kIncremental;
+  std::vector<std::vector<double>> rounds;
+  std::vector<double> readings = sense(scenario);
+  for (int r = 0; r < 3; ++r) {
+    rounds.push_back(readings);
+    for (double& v : readings) v += 0.05;  // uniform drift between rounds
+  }
+  return record_continuous(scenario, options, std::move(rounds),
+                           "test: small continuous");
+}
+
+// ---------------------------------------------------------------------------
+// Record / save / load / replay.
+
+TEST(RunCapsuleTest, SingleShotWireRoundTripIsCanonical) {
+  const RunCapsule run = small_single_shot();
+  const std::string bytes = to_capsule(run).encode();
+  const RunCapsule back = from_capsule(Capsule::decode(bytes));
+  EXPECT_EQ(back.kind, RunKind::kSingleShot);
+  EXPECT_EQ(back.label, run.label);
+  EXPECT_EQ(back.rounds, run.rounds);
+  EXPECT_FALSE(diff_outputs(run, back).has_value());
+  // decode(encode(x)) re-encodes to the identical bytes.
+  EXPECT_EQ(to_capsule(back).encode(), bytes);
+}
+
+TEST(RunCapsuleTest, SingleShotReplayMatchesRecording) {
+  const RunCapsule run = small_single_shot();
+  EXPECT_FALSE(check_fault_plan(run).has_value());
+  const RunCapsule fresh = replay(run);
+  const auto diff = diff_outputs(run, fresh);
+  EXPECT_FALSE(diff.has_value())
+      << diff->where << ": " << diff->detail;
+}
+
+TEST(RunCapsuleTest, ContinuousReplayMatchesRecording) {
+  const RunCapsule run = small_continuous();
+  ASSERT_EQ(run.round_outputs.size(), 3u);
+  const std::string bytes = to_capsule(run).encode();
+  const RunCapsule back = from_capsule(Capsule::decode(bytes));
+  EXPECT_FALSE(diff_outputs(run, back).has_value());
+  const RunCapsule fresh = replay(back);
+  const auto diff = diff_outputs(run, fresh);
+  EXPECT_FALSE(diff.has_value())
+      << diff->where << ": " << diff->detail;
+}
+
+TEST(RunCapsuleTest, SaveLoadRoundTrip) {
+  const RunCapsule run = small_single_shot();
+  const std::string path = "capsule_test_tmp.capsule";
+  ASSERT_TRUE(save(path, run));
+  const RunCapsule back = load(path);
+  std::remove(path.c_str());
+  EXPECT_FALSE(diff_outputs(run, back).has_value());
+}
+
+TEST(RunCapsuleTest, DiffPinpointsPerturbedOutput) {
+  const RunCapsule run = small_single_shot();
+  RunCapsule tampered = run;
+  ASSERT_FALSE(tampered.single.sink_reports.empty());
+  tampered.single.sink_reports[0].position.x = std::nextafter(
+      tampered.single.sink_reports[0].position.x, 1e300);
+  const auto diff = diff_outputs(run, tampered);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->where.find("single.sink_reports["), std::string::npos)
+      << diff->where;
+
+  RunCapsule counter = run;
+  counter.single.delivered_reports += 1;
+  const auto diff2 = diff_outputs(run, counter);
+  ASSERT_TRUE(diff2.has_value());
+  EXPECT_EQ(diff2->where, "single.delivered_reports");
+}
+
+TEST(RunCapsuleTest, UnknownSectionsAreSkipped) {
+  // A future writer adds a section this reader has no tag for: decoding
+  // must ignore it rather than fail (forward compatibility).
+  const RunCapsule run = small_single_shot();
+  Capsule c = to_capsule(run);
+  c.add(9999, "from-the-future");
+  const RunCapsule back = from_capsule(Capsule::decode(c.encode()));
+  EXPECT_FALSE(diff_outputs(run, back).has_value());
+}
+
+TEST(RunCapsuleTest, ReplayStreamsTrace) {
+  const RunCapsule run = small_single_shot();
+  std::ostringstream trace_out;
+  obs::TraceSink sink(trace_out);
+  const RunCapsule fresh = replay(run, &sink);
+  sink.flush();
+  EXPECT_GT(sink.events(), 0u);
+  EXPECT_NE(trace_out.str().find("\"kind\""), std::string::npos);
+  // Observing the run must not perturb it.
+  EXPECT_FALSE(diff_outputs(run, fresh).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-ish decoder robustness. Run under ASan/UBSan in CI.
+
+/// from_capsule over arbitrary bytes must either produce a value or throw
+/// CapsuleError. Any other exception (or a sanitizer report) is a bug.
+void expect_clean_decode(const std::string& bytes) {
+  try {
+    (void)from_capsule(Capsule::decode(bytes));
+  } catch (const CapsuleError&) {
+    // Expected for malformed input.
+  }
+}
+
+TEST(CapsuleFuzz, TruncationNeverCrashes) {
+  const std::string bytes = to_capsule(small_single_shot()).encode();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+    expect_clean_decode(bytes.substr(0, cut));
+}
+
+TEST(CapsuleFuzz, ByteFlipsNeverCrash) {
+  const std::string bytes = to_capsule(small_single_shot()).encode();
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (const char mask : {'\x01', '\x80', '\xFF'}) {
+      std::string mutated = bytes;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ mask);
+      expect_clean_decode(mutated);
+    }
+  }
+}
+
+TEST(CapsuleFuzz, CorruptCountsCannotBalloonAllocations) {
+  // A section whose node count claims far more items than the payload
+  // holds must be rejected up front (not after a giant resize).
+  const RunCapsule run = small_single_shot();
+  Capsule c = to_capsule(run);
+  for (Section& s : c.sections) {
+    Writer w;
+    w.put_u64((1ULL << 22) - 1);  // huge but within the count cap
+    s.payload = w.take();
+  }
+  EXPECT_THROW((void)from_capsule(c), CapsuleError);
+}
+
+// ---------------------------------------------------------------------------
+// Golden corpus: every committed capsule replays bit-identically.
+
+TEST(GoldenCorpus, AllGoldensReplayBitIdentically) {
+  const std::string dir = ISOMAP_GOLDEN_DIR;
+  const char* names[] = {"single_small", "continuous_drift",
+                         "chaos_crash_burst", "band_edge_ulp"};
+  for (const char* name : names) {
+    SCOPED_TRACE(name);
+    const RunCapsule stored = load(dir + "/" + name + ".capsule");
+    const auto plan_diff = check_fault_plan(stored);
+    EXPECT_FALSE(plan_diff.has_value())
+        << plan_diff->where << ": " << plan_diff->detail;
+    const RunCapsule fresh = replay(stored);
+    const auto diff = diff_outputs(stored, fresh);
+    EXPECT_FALSE(diff.has_value()) << diff->where << ": " << diff->detail;
+  }
+}
+
+}  // namespace
+}  // namespace isomap::capsule

@@ -1,0 +1,39 @@
+# Smoke-test the replay -> trace -> trace_summary pipeline on one golden
+# capsule. Invoked by ctest (see tests/CMakeLists.txt) as:
+#   cmake -DREPLAY=... -DTRACE_SUMMARY=... -DCAPSULE=... -DOUT_DIR=...
+#         -P replay_smoke.cmake
+
+set(trace "${OUT_DIR}/replay_smoke.jsonl")
+
+execute_process(
+  COMMAND "${REPLAY}" "${CAPSULE}" "--diff" "--trace=${trace}"
+  OUTPUT_VARIABLE replay_out
+  ERROR_VARIABLE replay_err
+  RESULT_VARIABLE replay_rc)
+if(NOT replay_rc EQUAL 0)
+  message(FATAL_ERROR
+    "isomap_replay exited ${replay_rc}\n${replay_out}${replay_err}")
+endif()
+
+if(NOT EXISTS "${trace}")
+  message(FATAL_ERROR "replay did not write ${trace}")
+endif()
+
+execute_process(
+  COMMAND "${TRACE_SUMMARY}" "${trace}"
+  OUTPUT_VARIABLE summary_out
+  ERROR_VARIABLE summary_err
+  RESULT_VARIABLE summary_rc)
+if(NOT summary_rc EQUAL 0)
+  message(FATAL_ERROR
+    "trace_summary exited ${summary_rc}\n${summary_out}${summary_err}")
+endif()
+
+# The chaos golden exercises route repair; its trace must aggregate into
+# a non-trivial per-phase table.
+if(NOT summary_out MATCHES "route_repair")
+  message(FATAL_ERROR
+    "trace_summary output missing route_repair phase:\n${summary_out}")
+endif()
+
+message(STATUS "replay_trace_smoke OK")

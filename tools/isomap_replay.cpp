@@ -1,0 +1,109 @@
+// isomap_replay: re-execute a recorded run capsule and bit-diff the
+// recomputed outputs against the stored ones — the push-button
+// regression oracle behind the CI golden-gate job (docs/REPLAY.md).
+//
+// Usage: isomap_replay <run.capsule> [--diff] [--info] [--threads=N]
+//                      [--trace=<replay.jsonl>]
+//
+// Default (and --diff) mode replays the capsule's inputs through the
+// live protocol code and compares every output section bit for bit:
+// exit 0 on a full match, exit 1 on the first divergence (printed as
+// section.field with stored vs recomputed values), exit 3 on a capsule
+// that fails to decode. --info prints the capsule's contents without
+// replaying. --threads sizes the exec pool (outputs are thread-count
+// invariant by the determinism contract — the golden gate runs the
+// corpus at 1 and 4 threads to enforce exactly that). --trace streams
+// the replayed run's JSONL trace for tools/trace_summary.
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "exec/exec.hpp"
+#include "obs/trace.hpp"
+#include "sim/run_capsule.hpp"
+#include "util/cli.hpp"
+
+using namespace isomap;
+
+namespace {
+
+const char* kind_name(capsule::RunKind kind) {
+  return kind == capsule::RunKind::kSingleShot ? "single-shot" : "continuous";
+}
+
+void print_info(const capsule::RunCapsule& c) {
+  std::cout << "capsule:  " << c.label << "\n"
+            << "kind:     " << kind_name(c.kind) << "\n"
+            << "nodes:    " << c.deployment.nodes.size() << " (sink "
+            << c.sink << ", radio range " << c.radio_range << ")\n"
+            << "rounds:   " << c.rounds.size() << "\n"
+            << "levels:   " << c.options.query.isolevels().size() << "\n"
+            << "faults:   " << c.fault_plan.size() << " scheduled event(s)\n";
+  if (c.kind == capsule::RunKind::kSingleShot)
+    std::cout << "outputs:  " << c.single.sink_reports.size()
+              << " sink reports, " << c.single.contours.size()
+              << " contour levels\n";
+  else
+    std::cout << "outputs:  " << c.round_outputs.size() << " round dumps, "
+              << c.final_contours.size() << " final contour levels\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::cerr << "usage: isomap_replay <run.capsule> [--diff] [--info] "
+                 "[--threads=N] [--trace=<replay.jsonl>]\n";
+    return 2;
+  }
+  if (const int threads = args.get_int("threads", 0); threads > 0)
+    exec::set_thread_count(threads);
+
+  const std::string path = args.positional().front();
+  capsule::RunCapsule stored;
+  try {
+    stored = capsule::load(path);
+  } catch (const capsule::CapsuleError& e) {
+    std::cerr << "isomap_replay: " << path << ": " << e.what() << "\n";
+    return 3;
+  }
+  print_info(stored);
+  if (args.has("info")) return 0;
+
+  // Inputs consistency: the stored fault plan must be what the stored
+  // options re-expand to (otherwise the capsule was hand-edited or the
+  // expansion logic changed behaviour).
+  if (const auto bad = capsule::check_fault_plan(stored)) {
+    std::cerr << "DIVERGENCE at " << bad->where << ": " << bad->detail
+              << "\n";
+    return 1;
+  }
+
+  std::unique_ptr<obs::TraceSink> trace;
+  if (const auto trace_path = args.get("trace")) {
+    trace = std::make_unique<obs::TraceSink>(*trace_path);
+    if (!trace->ok()) {
+      std::cerr << "isomap_replay: cannot write trace to " << *trace_path
+                << "\n";
+      return 2;
+    }
+  }
+
+  const capsule::RunCapsule fresh = capsule::replay(stored, trace.get());
+  if (trace) {
+    trace->flush();
+    std::cout << "trace:    " << trace->events() << " events -> "
+              << *args.get("trace") << "\n";
+  }
+
+  if (const auto bad = capsule::diff_outputs(stored, fresh)) {
+    std::cerr << "DIVERGENCE at " << bad->where << ": " << bad->detail
+              << "\n";
+    return 1;
+  }
+  std::cout << "OK: replay matches stored outputs bit for bit ("
+            << exec::thread_count() << " thread(s))\n";
+  return 0;
+}
