@@ -11,6 +11,8 @@
 #include <atomic>
 
 #include "bench/bench_common.hpp"
+#include "eval/heatmap.hpp"
+#include "obs/node_telemetry.hpp"
 
 using namespace isomap;
 using namespace isomap::bench;
@@ -239,6 +241,62 @@ int main(int argc, char** argv) {
         .cell(acc.mean(), 1);
   }
   emit_table("ext_chaos_blackout", titlec, c);
+
+  // Per-node pass over one representative chaos run (10% crashes + heavy
+  // burst, self-healing on) with the flight recorder installed: the
+  // loss-accounting identity above is aggregate, this one must hold node
+  // by node — every report a source generated is delivered, filtered or
+  // lost, per source. The run also yields the chaos energy heatmap
+  // artifact: where the repair-and-retry bill actually landed.
+  {
+    const std::uint64_t seed = trial_seed(1);
+    const Scenario s = harbor_scenario(nodes, seed);
+    IsoMapOptions options = isomap_options(s, 4);
+    options.fault.crash_fraction = 0.10;
+    options.fault.seed = seed * 1013;
+    options.fault.self_healing = true;
+    options.link_burst = kHeavyBurst;
+    options.link_retries = 3;
+    options.link_seed = seed * 977;
+    obs::NodeTelemetry telemetry(s.graph.size());
+    const IsoMapRun run = run_isomap(s, options, nullptr, &telemetry);
+    check_identity(run);
+    int bad_nodes = 0;
+    for (int v = 0; v < s.graph.size(); ++v) {
+      const long long accounted =
+          telemetry.delivered(v) + telemetry.filtered(v) +
+          telemetry.lost_channel(v) + telemetry.lost_crash(v);
+      if (accounted != telemetry.generated(v)) {
+        ++bad_nodes;
+        if (bad_nodes <= 5)
+          std::cerr << "[ext_chaos] PER-NODE ACCOUNTING VIOLATION: node "
+                    << v << " generated=" << telemetry.generated(v)
+                    << " accounted=" << accounted << "\n";
+      }
+    }
+    identity_violations += bad_nodes;
+    if (bad_nodes == 0)
+      std::cout << "[ext_chaos] per-node accounting identity held across "
+                << s.graph.size() << " node(s)\n";
+    std::vector<Vec2> positions;
+    std::vector<double> energy_j;
+    std::vector<int> hops;
+    for (int v = 0; v < s.graph.size(); ++v) {
+      positions.push_back(s.deployment.node(v).reported_pos());
+      energy_j.push_back(telemetry.energy_j(v));
+      hops.push_back(telemetry.hops(v));
+    }
+    const std::string csv_path =
+        (results_dir() / "ext_chaos_energy_heatmap.csv").string();
+    const std::string geo_path =
+        (results_dir() / "ext_chaos_energy_heatmap.geojson").string();
+    if (save_text(csv_path, heatmap_csv_grid(s.field.bounds(), positions,
+                                             energy_j, 32, 32)))
+      std::cout << "[bench] wrote " << csv_path << "\n";
+    if (save_text(geo_path,
+                  heatmap_geojson(positions, energy_j, hops, "energy_j")))
+      std::cout << "[bench] wrote " << geo_path << "\n";
+  }
 
   if (identity_violations > 0) {
     std::cerr << "[ext_chaos] " << identity_violations

@@ -7,6 +7,8 @@
 // INLR climb.
 
 #include "bench/bench_common.hpp"
+#include "eval/heatmap.hpp"
+#include "obs/node_telemetry.hpp"
 
 using namespace isomap;
 using namespace isomap::bench;
@@ -43,5 +45,36 @@ int main() {
         .cell(iso_mj.mean(), 4);
   }
   emit_table("fig16", title, table);
+
+  // Spatial twin of the mean above: one representative run at the largest
+  // size with the flight recorder installed, exported as a binned energy
+  // grid (CSV, loads straight into numpy) and per-node GeoJSON points.
+  // The table says Iso-Map's mean is low; the heatmap shows the residual
+  // concentration along the contour bands and the sink's relay spine.
+  {
+    const Scenario s = sloped_scenario(side_for_diameter(50), trial_seed(1));
+    IsoMapOptions options;
+    options.query = scaling_query();
+    obs::NodeTelemetry telemetry(s.graph.size());
+    run_isomap(s, options, nullptr, &telemetry);
+    std::vector<Vec2> positions;
+    std::vector<double> energy_j;
+    std::vector<int> hops;
+    for (int v = 0; v < s.graph.size(); ++v) {
+      positions.push_back(s.deployment.node(v).reported_pos());
+      energy_j.push_back(telemetry.energy_j(v));
+      hops.push_back(telemetry.hops(v));
+    }
+    const std::string csv_path =
+        (results_dir() / "fig16_energy_heatmap.csv").string();
+    const std::string geo_path =
+        (results_dir() / "fig16_energy_heatmap.geojson").string();
+    if (save_text(csv_path, heatmap_csv_grid(s.field.bounds(), positions,
+                                             energy_j, 32, 32)))
+      std::cout << "[bench] wrote " << csv_path << "\n";
+    if (save_text(geo_path,
+                  heatmap_geojson(positions, energy_j, hops, "energy_j")))
+      std::cout << "[bench] wrote " << geo_path << "\n";
+  }
   return 0;
 }

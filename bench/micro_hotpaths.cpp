@@ -13,6 +13,9 @@
 #include "geometry/voronoi.hpp"
 #include "isomap/node_selection.hpp"
 #include "isomap/regression.hpp"
+#include "net/ledger.hpp"
+#include "obs/node_telemetry.hpp"
+#include "obs/obs.hpp"
 
 using namespace isomap;
 using namespace isomap::bench;
@@ -282,6 +285,62 @@ int main() {
         .cell(full_ms, 2)
         .cell(split_ms, 2)
         .cell(full_ms / split_ms, 1);
+  }
+
+  // Flight-recorder charge path: the per-node telemetry table rides the
+  // Ledger's charge hooks, so the Ledger transmit/compute loop is the
+  // subsystem's hot path. With no obs context installed (every exec
+  // worker, every pre-telemetry caller) a charge pays one thread-local
+  // read plus a branch — the "near-zero when disabled" contract — and
+  // with a NodeTelemetry installed it adds a handful of O(1) array
+  // writes. Here baseline = telemetry enabled and optimized = disabled,
+  // so the speedup column reads as the overhead factor the disabled path
+  // avoids. Identity first: an instrumented pass must post bit-identical
+  // per-node sums to the ledger's own arrays.
+  for (const int n : {400, 2500, 10000}) {
+    {
+      Ledger ledger(n);
+      obs::NodeTelemetry telemetry(n);
+      obs::ObsScope scope(nullptr, nullptr, &telemetry);
+      for (int v = 0; v < n; ++v) {
+        ledger.transmit(v, (v + 1) % n, 36.0);
+        ledger.compute(v, 8.0);
+      }
+      for (int v = 0; v < n; ++v) {
+        if (telemetry.tx_bytes(v) != ledger.tx_bytes(v) ||
+            telemetry.rx_bytes(v) != ledger.rx_bytes(v) ||
+            telemetry.ops(v) != ledger.ops(v)) {
+          std::cerr << "[micro_hotpaths] telemetry/ledger mismatch at node "
+                    << v << "\n";
+          return 1;
+        }
+      }
+    }
+    const int passes = std::max(1, 1000000 / n);
+    Ledger enabled_ledger(n);
+    obs::NodeTelemetry telemetry(n);
+    const double enabled_ms = best_ms(3, [&] {
+      obs::ObsScope scope(nullptr, nullptr, &telemetry);
+      for (int pass = 0; pass < passes; ++pass)
+        for (int v = 0; v < n; ++v) {
+          enabled_ledger.transmit(v, (v + 1) % n, 36.0);
+          enabled_ledger.compute(v, 8.0);
+        }
+    });
+    Ledger disabled_ledger(n);
+    const double disabled_ms = best_ms(3, [&] {
+      for (int pass = 0; pass < passes; ++pass)
+        for (int v = 0; v < n; ++v) {
+          disabled_ledger.transmit(v, (v + 1) % n, 36.0);
+          disabled_ledger.compute(v, 8.0);
+        }
+    });
+    table.row()
+        .cell("ledger_telemetry")
+        .cell(n)
+        .cell(enabled_ms, 2)
+        .cell(disabled_ms, 2)
+        .cell(enabled_ms / disabled_ms, 1);
   }
 
   emit_table("micro_hotpaths", title, table);

@@ -8,6 +8,7 @@
 #include "isomap/contour_map.hpp"
 #include "isomap/protocol.hpp"
 #include "isomap/regression.hpp"
+#include "obs/metrics.hpp"
 
 namespace isomap {
 
@@ -274,7 +275,7 @@ class ContinuousMapper {
   /// created them.
   struct RegressionObsSlots {
     double* fits = nullptr;
-    std::vector<double>* samples = nullptr;
+    obs::Histogram* samples = nullptr;
     double* degenerate = nullptr;
   };
   RegressionObsSlots obs_slots_;

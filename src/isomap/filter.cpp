@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/node_telemetry.hpp"
 #include "obs/obs.hpp"
 
 namespace isomap {
@@ -27,6 +28,7 @@ void InNetworkFilter::merge(std::vector<IsolineReport>& kept,
                             double* ops, int at_node) const {
   // Resolve the observation context once per merge, not per comparison.
   obs::TraceSink* const sink = obs::trace();
+  obs::NodeTelemetry* const tel = obs::telemetry();
 
   // redundant() never crosses isolevels, so only same-level kept reports
   // can drop an incoming one: bucketing kept by exact level skips the
@@ -90,12 +92,15 @@ void InNetworkFilter::merge(std::vector<IsolineReport>& kept,
       *ops += kOpsPerComparison * static_cast<double>(kept.size());
     if (drop) {
       ++dropped;
+      if (tel != nullptr && report.source >= 0)
+        tel->count_filtered(report.source);
       if (sink != nullptr) {
         obs::TraceEvent event;
         event.kind = "drop";
         event.phase = obs::kPhaseFilterDrop;
         event.node = at_node;
         event.peer = report.source;
+        event.report = report.id;
         event.isolevel = report.isolevel;
         sink->emit(event);
       }

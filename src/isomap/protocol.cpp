@@ -6,7 +6,9 @@
 
 #include "isomap/regression.hpp"
 #include "net/channel.hpp"
+#include "obs/node_telemetry.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace isomap {
 
@@ -108,14 +110,32 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
 
   // --- Step 3: convergecast with in-network filtering (Section 3.5). ---
   obs::PhaseTimer route_timer(obs::kPhaseReportRoute);
+  // Flight-recorder context, resolved once per run: the per-node telemetry
+  // table gets report counters and hop distances, the trace sink gets one
+  // "span" event per report hop (keyed by the report's causal id) so the
+  // full source->relays->sink path reconstructs from the JSONL trace.
+  obs::NodeTelemetry* const tel = obs::telemetry();
+  obs::TraceSink* const span_sink = obs::trace();
   std::vector<std::vector<IsolineReport>> buffer(static_cast<std::size_t>(n));
   int generated = 0;
   for (const auto& entry : selected) {
     if (!has_gradient[static_cast<std::size_t>(entry.node)]) continue;
     if (!tree.reachable(entry.node)) continue;
-    buffer[static_cast<std::size_t>(entry.node)].push_back(
-        {entry.isolevel, deployment.node(entry.node).reported_pos(),
-         descent_by_node[entry.node], entry.node});
+    auto& slot = buffer[static_cast<std::size_t>(entry.node)];
+    slot.push_back({entry.isolevel, deployment.node(entry.node).reported_pos(),
+                    descent_by_node[entry.node], entry.node});
+    slot.back().id = generated;
+    if (tel != nullptr) tel->count_generated(entry.node);
+    if (span_sink != nullptr) {
+      obs::TraceEvent event;
+      event.kind = "span";
+      event.phase = obs::current_phase();
+      event.node = entry.node;
+      event.report = generated;
+      event.hop = 0;
+      event.isolevel = entry.isolevel;
+      span_sink->emit(event);
+    }
     ++generated;
   }
 
@@ -138,6 +158,26 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
   if (faults) healed.emplace(tree);
   const RoutingTree& route = faults ? *healed : tree;
 
+  // Seed the telemetry hop map from the convergecast tree; repair() will
+  // refresh it whenever the tree rewires mid-run.
+  if (tel != nullptr)
+    for (int v = 0; v < n; ++v) tel->set_hops(v, route.level(v));
+
+  // One "loss" trace event per dead report. Channel losses name the next
+  // hop in `peer`; crash losses leave it -1 (the report died in place).
+  const auto emit_loss = [&](const IsolineReport& r, int at, int next_hop) {
+    if (span_sink == nullptr) return;
+    obs::TraceEvent event;
+    event.kind = "loss";
+    event.phase = obs::current_phase();
+    event.node = at;
+    event.peer = next_hop;
+    event.report = r.id;
+    event.hop = r.hops;
+    event.isolevel = r.isolevel;
+    span_sink->emit(event);
+  };
+
   int lost_crash = 0;
   int lost_channel = 0;
   int filtered = 0;
@@ -157,6 +197,10 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
     if (died.empty()) return 0;
     for (int c : died) {
       auto& stranded = buffer[static_cast<std::size_t>(c)];
+      for (const auto& r : stranded) {
+        if (tel != nullptr) tel->count_lost_crash(r.source);
+        emit_loss(r, c, -1);
+      }
       lost_crash += static_cast<int>(stranded.size());
       stranded.clear();
     }
@@ -208,6 +252,10 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
       if (faults && !injector.alive(p)) {
         // Dead next-hop and no repair (self-healing off): the node keeps
         // retrying into silence and the whole batch is stranded.
+        for (const auto& r : outgoing) {
+          if (tel != nullptr) tel->count_lost_crash(r.source);
+          emit_loss(r, u, -1);
+        }
         lost_crash += static_cast<int>(outgoing.size());
         outgoing.clear();
         moved = true;
@@ -224,6 +272,25 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
       if (options_.record_transmissions)
         transmission_log.push_back({u, p, bytes, route.level(u)});
       if (delivered) {
+        // Advance each report one hop before handing the batch on, so the
+        // copies the filter keeps in the parent's inbox already carry the
+        // incremented hop count. Relay credit goes to the forwarding node
+        // (not the source re-sending its own report at hop 1).
+        for (auto& r : outgoing) {
+          ++r.hops;
+          if (tel != nullptr && r.source != u) tel->count_relayed(u);
+          if (span_sink != nullptr) {
+            obs::TraceEvent event;
+            event.kind = "span";
+            event.phase = obs::current_phase();
+            event.node = u;
+            event.peer = p;
+            event.report = r.id;
+            event.hop = r.hops;
+            event.isolevel = r.isolevel;
+            span_sink->emit(event);
+          }
+        }
         auto& inbox = buffer[static_cast<std::size_t>(p)];
         if (query.enable_filtering) {
           // The per-hop filter work is its own phase nested inside the
@@ -240,6 +307,10 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
           inbox.insert(inbox.end(), outgoing.begin(), outgoing.end());
         }
       } else {
+        for (const auto& r : outgoing) {
+          if (tel != nullptr) tel->count_lost_channel(r.source);
+          emit_loss(r, u, p);
+        }
         lost_channel += static_cast<int>(outgoing.size());
       }
       outgoing.clear();
@@ -253,6 +324,10 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
   for (int v = 0; v < n; ++v) {
     if (v == route.sink()) continue;
     auto& stuck = buffer[static_cast<std::size_t>(v)];
+    for (const auto& r : stuck) {
+      if (tel != nullptr) tel->count_lost_crash(r.source);
+      emit_loss(r, v, -1);
+    }
     lost_crash += static_cast<int>(stuck.size());
     stuck.clear();
   }
@@ -266,6 +341,8 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
 
   std::vector<IsolineReport> sink_reports =
       std::move(buffer[static_cast<std::size_t>(route.sink())]);
+  if (tel != nullptr)
+    for (const auto& r : sink_reports) tel->count_delivered(r.source);
   obs::count("reports.delivered", static_cast<double>(sink_reports.size()));
   ContourMap map = ContourMapBuilder(deployment.bounds(), options_.regulation)
                        .build(sink_reports, query.isolevels());

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/node_telemetry.hpp"
 #include "obs/obs.hpp"
 
 namespace isomap {
@@ -63,6 +64,7 @@ bool Channel::send(int from, int to, double bytes, Ledger& ledger) {
     if (attempt > 0) {
       ++retries_;
       obs::count("channel.retries");
+      if (obs::NodeTelemetry* t = obs::telemetry()) t->add_retry(from);
     }
     if (rng_.bernoulli(attempt_loss())) {
       // Lost attempt: sender still burned the airtime; receiver decoded
@@ -75,6 +77,7 @@ bool Channel::send(int from, int to, double bytes, Ledger& ledger) {
   }
   ++drops_;
   obs::count("channel.drops");
+  if (obs::NodeTelemetry* t = obs::telemetry()) t->add_drop(from);
   return false;
 }
 

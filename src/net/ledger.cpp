@@ -6,6 +6,7 @@
 #include <string>
 
 #include "net/comm_graph.hpp"
+#include "obs/node_telemetry.hpp"
 #include "obs/obs.hpp"
 
 namespace isomap {
@@ -37,6 +38,13 @@ void Ledger::transmit(int from, int to, double bytes) {
   check_amount(bytes, "transmit");
   tx_bytes_[static_cast<std::size_t>(from)] += bytes;
   rx_bytes_[static_cast<std::size_t>(to)] += bytes;
+  // Telemetry charges mirror the array writes above in the same order
+  // with the same amounts, so the per-node table reconciles bit-for-bit.
+  if (obs::NodeTelemetry* t = obs::telemetry()) {
+    const char* phase = obs::current_phase();
+    t->charge_tx(from, bytes, phase);
+    t->charge_rx(to, bytes, phase);
+  }
   if (obs::TraceSink* sink = obs::trace()) {
     obs::TraceEvent event;
     event.phase = obs::current_phase();
@@ -55,6 +63,11 @@ void Ledger::broadcast(int from, const std::vector<int>& receivers,
   for (int r : receivers) check_node(r, "broadcast");
   tx_bytes_[static_cast<std::size_t>(from)] += bytes;
   for (int r : receivers) rx_bytes_[static_cast<std::size_t>(r)] += bytes;
+  if (obs::NodeTelemetry* t = obs::telemetry()) {
+    const char* phase = obs::current_phase();
+    t->charge_tx(from, bytes, phase);
+    for (int r : receivers) t->charge_rx(r, bytes, phase);
+  }
   if (obs::TraceSink* sink = obs::trace()) {
     obs::TraceEvent event;
     event.phase = obs::current_phase();
@@ -69,6 +82,8 @@ void Ledger::transmit_lost(int from, double bytes) {
   check_node(from, "transmit_lost");
   check_amount(bytes, "transmit_lost");
   tx_bytes_[static_cast<std::size_t>(from)] += bytes;
+  if (obs::NodeTelemetry* t = obs::telemetry())
+    t->charge_tx(from, bytes, obs::current_phase());
   if (obs::TraceSink* sink = obs::trace()) {
     obs::TraceEvent event;
     event.phase = obs::current_phase();
@@ -83,6 +98,9 @@ double Ledger::broadcast_all(const CommGraph& graph, double bytes) {
     throw std::invalid_argument("Ledger::broadcast_all: graph size mismatch");
   check_amount(bytes, "broadcast_all");
   obs::TraceSink* const sink = obs::trace();
+  obs::NodeTelemetry* const telemetry = obs::telemetry();
+  const char* const phase =
+      telemetry != nullptr ? obs::current_phase() : nullptr;
   double total = 0.0;
   for (int v = 0; v < graph.size(); ++v) {
     if (!graph.alive(v)) continue;
@@ -94,6 +112,10 @@ double Ledger::broadcast_all(const CommGraph& graph, double bytes) {
     tx_bytes_[static_cast<std::size_t>(v)] += bytes;
     rx_bytes_[static_cast<std::size_t>(v)] += rx;
     total += bytes;
+    if (telemetry != nullptr) {
+      telemetry->charge_tx(v, bytes, phase);
+      telemetry->charge_rx(v, rx, phase);
+    }
     if (sink != nullptr) {
       obs::TraceEvent event;
       event.phase = obs::current_phase();
@@ -113,11 +135,13 @@ void Ledger::compute_all(const CommGraph& graph,
   if (ops.size() < static_cast<std::size_t>(size()))
     throw std::invalid_argument("Ledger::compute_all: ops vector too short");
   obs::TraceSink* const sink = obs::trace();
+  obs::NodeTelemetry* const telemetry = obs::telemetry();
   for (int v = 0; v < graph.size(); ++v) {
     if (!graph.alive(v)) continue;
     const double amount = ops[static_cast<std::size_t>(v)];
     check_amount(amount, "compute_all");
     ops_[static_cast<std::size_t>(v)] += amount;
+    if (telemetry != nullptr) telemetry->charge_ops(v, amount);
     if (sink != nullptr) {
       obs::TraceEvent event;
       event.phase = obs::current_phase();
@@ -132,6 +156,7 @@ void Ledger::compute(int node, double ops) {
   check_node(node, "compute");
   check_amount(ops, "compute");
   ops_[static_cast<std::size_t>(node)] += ops;
+  if (obs::NodeTelemetry* t = obs::telemetry()) t->charge_ops(node, ops);
   if (obs::TraceSink* sink = obs::trace()) {
     obs::TraceEvent event;
     event.phase = obs::current_phase();
@@ -171,8 +196,9 @@ double Ledger::max_ops() const {
 
 void Ledger::merge(const Ledger& other) {
   // Aggregation of already-accounted ledgers (e.g. multi-round lifetime
-  // studies): no trace events here — the per-charge events were emitted
-  // when the costs were incurred, and re-emitting would double count.
+  // studies): no trace events and no telemetry charges here — both were
+  // posted when the costs were incurred, and re-posting would double
+  // count.
   if (other.size() != size()) throw std::invalid_argument("Ledger size mismatch");
   for (std::size_t i = 0; i < tx_bytes_.size(); ++i) {
     tx_bytes_[i] += other.tx_bytes_[i];

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/node_telemetry.hpp"
+#include "obs/obs.hpp"
+
 namespace isomap {
 
 RoutingTree::RoutingTree(const CommGraph& graph, int sink_id)
@@ -167,6 +170,11 @@ RoutingTree::RepairReport RoutingTree::repair(const CommGraph& graph,
   report.unreachable = report.orphaned - report.reattached;
 
   rebuild_order();
+  if (obs::NodeTelemetry* t = obs::telemetry()) {
+    const int n = static_cast<int>(level_.size());
+    for (int v = 0; v < n; ++v)
+      t->set_hops(v, level_[static_cast<std::size_t>(v)]);
+  }
   return report;
 }
 

@@ -48,17 +48,32 @@ double MetricsRegistry::gauge(const std::string& name) const {
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+HistogramSnapshot Histogram::snapshot() const {
+  // Within capacity the reservoir IS the full sample set: delegate to
+  // the historical retain-all path so every field (including the
+  // sorted-order sum) is bit-identical to what it always was.
+  HistogramSnapshot s = summarize_samples(samples_);
+  if (count_ <= kReservoirCapacity) return s;
+  // Beyond capacity: count/min/max/sum come from the exact running
+  // accumulators; the quantiles are reservoir estimates.
+  s.count = count_;
+  s.min = min_;
+  s.max = max_;
+  s.sum = sum_;
+  s.mean = sum_ / static_cast<double>(count_);
+  return s;
+}
+
 HistogramSnapshot MetricsRegistry::histogram(const std::string& name) const {
   const auto it = histograms_.find(name);
   if (it == histograms_.end()) return {};
-  return summarize_samples(it->second);
+  return it->second.snapshot();
 }
 
 std::map<std::string, HistogramSnapshot> MetricsRegistry::histogram_snapshots()
     const {
   std::map<std::string, HistogramSnapshot> out;
-  for (const auto& [name, samples] : histograms_)
-    out[name] = summarize_samples(samples);
+  for (const auto& [name, hist] : histograms_) out[name] = hist.snapshot();
   return out;
 }
 
@@ -78,8 +93,8 @@ JsonValue MetricsRegistry::to_json() const {
   for (const auto& [name, value] : gauges_) gauges[name] = JsonValue(value);
   JsonValue& hists = v["histograms"];
   hists = JsonValue::object();
-  for (const auto& [name, samples] : histograms_)
-    hists[name] = summarize_samples(samples).to_json();
+  for (const auto& [name, hist] : histograms_)
+    hists[name] = hist.snapshot().to_json();
   return v;
 }
 

@@ -10,10 +10,15 @@ Context& context() {
 }
 
 ObsScope::ObsScope(MetricsRegistry* metrics, TraceSink* trace)
+    : ObsScope(metrics, trace, nullptr) {}
+
+ObsScope::ObsScope(MetricsRegistry* metrics, TraceSink* trace,
+                   NodeTelemetry* telemetry)
     : saved_(context()) {
   Context& ctx = context();
   ctx.metrics = metrics;
   ctx.trace = trace;
+  ctx.telemetry = telemetry;
   ctx.phase = nullptr;
 }
 
@@ -21,7 +26,9 @@ ObsScope::~ObsScope() { context() = saved_; }
 
 PhaseTimer::PhaseTimer(const char* phase) {
   Context& ctx = context();
-  if (ctx.metrics == nullptr && ctx.trace == nullptr) return;
+  if (ctx.metrics == nullptr && ctx.trace == nullptr &&
+      ctx.telemetry == nullptr)
+    return;
   armed_ = true;
   phase_ = phase;
   prev_phase_ = ctx.phase;

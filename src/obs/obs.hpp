@@ -7,6 +7,8 @@
 
 namespace isomap::obs {
 
+class NodeTelemetry;  // obs/node_telemetry.hpp
+
 /// The active observation context for the current thread. Instrumentation
 /// sites throughout the stack read it through the inline helpers below;
 /// with no scope installed every hook is a single thread-local pointer
@@ -15,6 +17,7 @@ namespace isomap::obs {
 struct Context {
   MetricsRegistry* metrics = nullptr;
   TraceSink* trace = nullptr;
+  NodeTelemetry* telemetry = nullptr;  ///< Per-node flight recorder.
   const char* phase = nullptr;  ///< Innermost active PhaseTimer's label.
 };
 
@@ -22,9 +25,11 @@ Context& context();
 
 inline MetricsRegistry* metrics() { return context().metrics; }
 inline TraceSink* trace() { return context().trace; }
+inline NodeTelemetry* telemetry() { return context().telemetry; }
 inline bool active() {
   const Context& c = context();
-  return c.metrics != nullptr || c.trace != nullptr;
+  return c.metrics != nullptr || c.trace != nullptr ||
+         c.telemetry != nullptr;
 }
 inline const char* current_phase() {
   const char* p = context().phase;
@@ -46,11 +51,14 @@ inline void emit(const TraceEvent& event) {
   if (TraceSink* t = context().trace) t->emit(event);
 }
 
-/// RAII installer: makes `metrics`/`trace` the current context for this
-/// thread, restoring the previous context (scopes nest) on destruction.
+/// RAII installer: makes `metrics`/`trace` (and optionally a
+/// NodeTelemetry table) the current context for this thread, restoring
+/// the previous context (scopes nest) on destruction.
 class ObsScope {
  public:
   ObsScope(MetricsRegistry* metrics, TraceSink* trace);
+  ObsScope(MetricsRegistry* metrics, TraceSink* trace,
+           NodeTelemetry* telemetry);
   ObsScope(const ObsScope&) = delete;
   ObsScope& operator=(const ObsScope&) = delete;
   ~ObsScope();

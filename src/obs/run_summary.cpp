@@ -46,6 +46,7 @@ JsonValue RunSummary::to_json() const {
   JsonValue& hs = v["histograms"];
   hs = JsonValue::object();
   for (const auto& [name, snap] : histograms) hs[name] = snap.to_json();
+  if (node_telemetry) v["node_telemetry"] = node_telemetry->to_json();
   v["trace_events"] = JsonValue(trace_events);
   return v;
 }
@@ -53,7 +54,8 @@ JsonValue RunSummary::to_json() const {
 RunSummary make_run_summary(std::string protocol,
                             const MetricsRegistry& registry,
                             const LedgerTotals& ledger, double wall_s,
-                            std::size_t trace_events) {
+                            std::size_t trace_events,
+                            const NodeTelemetry* telemetry) {
   RunSummary summary;
   summary.protocol = std::move(protocol);
   summary.wall_s = wall_s;
@@ -85,6 +87,8 @@ RunSummary make_run_summary(std::string protocol,
       summary.histograms[name] = snap;
     }
   }
+  if (telemetry != nullptr && telemetry->size() > 0)
+    summary.node_telemetry = telemetry->summarize();
   return summary;
 }
 

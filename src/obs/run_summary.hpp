@@ -1,9 +1,11 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/node_telemetry.hpp"
 
 namespace isomap::obs {
 
@@ -59,6 +61,9 @@ struct RunSummary {
   /// Non-phase histograms (e.g. regression sample counts).
   std::map<std::string, HistogramSnapshot> histograms;
   std::size_t trace_events = 0;  ///< 0 when tracing was disabled.
+  /// Spatial balance block (hotspot ids, energy Gini, max hops) — only
+  /// present when the run carried a NodeTelemetry table.
+  std::optional<NodeTelemetrySummary> node_telemetry;
 
   /// Sum of one phase's recorded seconds (0 when the phase never ran).
   double phase_seconds(const std::string& phase) const;
@@ -68,10 +73,12 @@ struct RunSummary {
 
 /// Assemble a summary from a run's registry. Histograms named
 /// "phase.<label>.seconds" become `phases[<label>]`; everything else is
-/// copied verbatim.
+/// copied verbatim. When `telemetry` is given, its summarize() fills the
+/// summary's node_telemetry block.
 RunSummary make_run_summary(std::string protocol,
                             const MetricsRegistry& registry,
                             const LedgerTotals& ledger, double wall_s,
-                            std::size_t trace_events = 0);
+                            std::size_t trace_events = 0,
+                            const NodeTelemetry* telemetry = nullptr);
 
 }  // namespace isomap::obs

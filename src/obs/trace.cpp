@@ -26,6 +26,14 @@ void TraceSink::emit(const TraceEvent& event) {
     line_ += ",\"peer\":";
     line_ += json_number(event.peer);
   }
+  if (event.report >= 0) {
+    line_ += ",\"report\":";
+    line_ += json_number(static_cast<double>(event.report));
+  }
+  if (event.hop >= 0) {
+    line_ += ",\"hop\":";
+    line_ += json_number(event.hop);
+  }
   if (event.isolevel != TraceEvent::kNoLevel) {
     line_ += ",\"isolevel\":";
     line_ += json_number(event.isolevel);

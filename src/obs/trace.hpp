@@ -15,7 +15,17 @@ namespace isomap::obs {
 ///             that was active when it was made — summing cost events over
 ///             a trace reconciles exactly with the run's Ledger totals.
 ///  - "drop":  an in-network filter drop: `node` is the filtering node,
-///             `peer` the dropped report's source, `isolevel` its level.
+///             `peer` the dropped report's source, `isolevel` its level,
+///             `report` the dropped report's causal id.
+///  - "span":  one hop of a report's path: `report` is the causal id
+///             assigned at generation, `hop` the path length so far
+///             (0 = the generation event at the source), `node` the
+///             sender and `peer` the receiver for transit hops. A
+///             report's full source→relays→sink path reconstructs by
+///             ordering its span events by `hop`.
+///  - "loss":  a report that died in flight: `report` its causal id,
+///             `node` where it was lost (`peer` the unreachable next hop
+///             for channel losses; -1 for crash losses).
 ///  - "phase": a phase completion with its wall time (`wall_s`).
 ///  - "note":  anything else (protocol milestones).
 /// Unused fields keep their defaults and are omitted from the JSONL line.
@@ -24,6 +34,8 @@ struct TraceEvent {
   const char* phase = "";
   int node = -1;     ///< Acting node (sender / filterer / computer).
   int peer = -1;     ///< Counterpart (receiver / dropped source).
+  long long report = -1;  ///< Per-report causal id; < 0 = not a span.
+  int hop = -1;      ///< Hop index along a report's path; < 0 = unset.
   double isolevel = kNoLevel;
   double tx_bytes = 0.0;
   double rx_bytes = 0.0;

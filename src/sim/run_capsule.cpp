@@ -24,6 +24,7 @@ enum Tag : std::uint64_t {
   kSingleOutputsTag = 8,
   kRoundOutputsTag = 9,
   kFinalMapTag = 10,
+  kTelemetryTag = 11,
 };
 
 /// Decode-time sanity caps: far above any real run, low enough that a
@@ -170,17 +171,20 @@ void check_readings(const RunCapsule& c) {
                          std::to_string(c.deployment.nodes.size()));
 }
 
-SingleShotOutputs execute_single_shot(const RunCapsule& c,
-                                      obs::TraceSink* trace) {
+SingleShotOutputs execute_single_shot(
+    const RunCapsule& c, obs::TraceSink* trace,
+    std::optional<obs::NodeTelemetrySnapshot>* telemetry_out = nullptr) {
   const Rebuilt in(c);
   Ledger ledger(in.deployment.size());
   obs::MetricsRegistry metrics;
+  obs::NodeTelemetry telemetry(in.deployment.size());
   const IsoMapResult result = [&] {
-    const obs::ObsScope scope(&metrics, trace);
+    const obs::ObsScope scope(&metrics, trace, &telemetry);
     const IsoMapProtocol protocol(c.options);
     return protocol.run(c.rounds.front(), in.deployment, in.graph, in.tree,
                         ledger);
   }();
+  if (telemetry_out != nullptr) *telemetry_out = telemetry.snapshot();
   SingleShotOutputs out;
   out.isoline_node_count = result.isoline_node_count;
   out.generated_reports = result.generated_reports;
@@ -203,21 +207,29 @@ SingleShotOutputs execute_single_shot(const RunCapsule& c,
   return out;
 }
 
-void execute_continuous(const RunCapsule& c, obs::TraceSink* trace,
-                        std::vector<RoundOutputs>& rounds_out,
-                        std::vector<LevelContour>& final_contours,
-                        std::string& final_summary) {
+void execute_continuous(
+    const RunCapsule& c, obs::TraceSink* trace,
+    std::vector<RoundOutputs>& rounds_out,
+    std::vector<LevelContour>& final_contours, std::string& final_summary,
+    std::optional<obs::NodeTelemetrySnapshot>* telemetry_out = nullptr) {
   const Rebuilt in(c);
   ContinuousOptions opts = c.continuous;
   opts.base = c.options;
   ContinuousMapper mapper(opts, in.deployment, in.graph, in.tree);
   Ledger ledger(in.deployment.size());
+  // One flight-recorder table across every round, mirroring the one
+  // ledger: charges accumulate like the ledger's own arrays do. Hop
+  // distances come from the initial tree (the continuous engines never
+  // rewire it mid-capsule).
+  obs::NodeTelemetry telemetry(in.deployment.size());
+  for (int v = 0; v < in.deployment.size(); ++v)
+    telemetry.set_hops(v, in.tree.level(v));
   rounds_out.clear();
   rounds_out.reserve(c.rounds.size());
   for (std::size_t r = 0; r < c.rounds.size(); ++r) {
     obs::MetricsRegistry metrics;
     const RoundResult result = [&] {
-      const obs::ObsScope scope(&metrics, trace);
+      const obs::ObsScope scope(&metrics, trace, &telemetry);
       return mapper.round(c.rounds[r], ledger);
     }();
     RoundOutputs out;
@@ -239,6 +251,64 @@ void execute_continuous(const RunCapsule& c, obs::TraceSink* trace,
           "continuous", metrics, ledger_totals(ledger), 0.0, 0));
     }
   }
+  if (telemetry_out != nullptr) *telemetry_out = telemetry.snapshot();
+}
+
+std::string encode_telemetry(const obs::NodeTelemetrySnapshot& t) {
+  Writer w;
+  const auto n = static_cast<std::size_t>(t.size());
+  w.put_u64(n);
+  for (double v : t.tx_bytes) w.put_f64(v);
+  for (double v : t.rx_bytes) w.put_f64(v);
+  for (double v : t.ops) w.put_f64(v);
+  for (int v : t.hops) w.put_i64(v);
+  for (long long v : t.generated) w.put_i64(v);
+  for (long long v : t.delivered) w.put_i64(v);
+  for (long long v : t.filtered) w.put_i64(v);
+  for (long long v : t.lost_channel) w.put_i64(v);
+  for (long long v : t.lost_crash) w.put_i64(v);
+  for (long long v : t.relayed) w.put_i64(v);
+  for (long long v : t.retries) w.put_i64(v);
+  for (long long v : t.drops) w.put_i64(v);
+  w.put_f64(t.energy.tx_j_per_byte);
+  w.put_f64(t.energy.rx_j_per_byte);
+  w.put_f64(t.energy.j_per_op);
+  // Per-phase lanes stay out of the capsule on purpose: they are derived
+  // observability detail, and omitting them keeps the section a fixed
+  // 12-array schema.
+  return w.take();
+}
+
+void decode_telemetry(Reader r, obs::NodeTelemetrySnapshot& t) {
+  const std::size_t n = r.get_count(kMaxNodes, 12);
+  t.tx_bytes.resize(n);
+  t.rx_bytes.resize(n);
+  t.ops.resize(n);
+  t.hops.resize(n);
+  t.generated.resize(n);
+  t.delivered.resize(n);
+  t.filtered.resize(n);
+  t.lost_channel.resize(n);
+  t.lost_crash.resize(n);
+  t.relayed.resize(n);
+  t.retries.resize(n);
+  t.drops.resize(n);
+  for (double& v : t.tx_bytes) v = r.get_f64();
+  for (double& v : t.rx_bytes) v = r.get_f64();
+  for (double& v : t.ops) v = r.get_f64();
+  for (int& v : t.hops) v = static_cast<int>(r.get_i64());
+  for (long long& v : t.generated) v = r.get_i64();
+  for (long long& v : t.delivered) v = r.get_i64();
+  for (long long& v : t.filtered) v = r.get_i64();
+  for (long long& v : t.lost_channel) v = r.get_i64();
+  for (long long& v : t.lost_crash) v = r.get_i64();
+  for (long long& v : t.relayed) v = r.get_i64();
+  for (long long& v : t.retries) v = r.get_i64();
+  for (long long& v : t.drops) v = r.get_i64();
+  t.energy.tx_j_per_byte = r.get_f64();
+  t.energy.rx_j_per_byte = r.get_f64();
+  t.energy.j_per_op = r.get_f64();
+  expect_done(r, "telemetry");
 }
 
 // --- Section payload encode/decode ------------------------------------
@@ -690,6 +760,42 @@ void diff_contours(DiffFinder& d, const std::string& where,
   }
 }
 
+void diff_telemetry(DiffFinder& d, const obs::NodeTelemetrySnapshot& stored,
+                    const obs::NodeTelemetrySnapshot& fresh) {
+  d.eq_i("telemetry.nodes", stored.size(), fresh.size());
+  if (d.done()) return;
+  const auto per_f64 = [&](const char* field,
+                           const std::vector<double>& s,
+                           const std::vector<double>& f) {
+    for (std::size_t i = 0; i < s.size() && !d.done(); ++i)
+      d.eq_f("telemetry." + std::string(field) + "[" + std::to_string(i) +
+                 "]",
+             s[i], f[i]);
+  };
+  const auto per_i64 = [&](const char* field,
+                           const std::vector<long long>& s,
+                           const std::vector<long long>& f) {
+    for (std::size_t i = 0; i < s.size() && !d.done(); ++i)
+      d.eq_i("telemetry." + std::string(field) + "[" + std::to_string(i) +
+                 "]",
+             s[i], f[i]);
+  };
+  per_f64("tx_bytes", stored.tx_bytes, fresh.tx_bytes);
+  per_f64("rx_bytes", stored.rx_bytes, fresh.rx_bytes);
+  per_f64("ops", stored.ops, fresh.ops);
+  for (std::size_t i = 0; i < stored.hops.size() && !d.done(); ++i)
+    d.eq_i("telemetry.hops[" + std::to_string(i) + "]", stored.hops[i],
+           fresh.hops[i]);
+  per_i64("generated", stored.generated, fresh.generated);
+  per_i64("delivered", stored.delivered, fresh.delivered);
+  per_i64("filtered", stored.filtered, fresh.filtered);
+  per_i64("lost_channel", stored.lost_channel, fresh.lost_channel);
+  per_i64("lost_crash", stored.lost_crash, fresh.lost_crash);
+  per_i64("relayed", stored.relayed, fresh.relayed);
+  per_i64("retries", stored.retries, fresh.retries);
+  per_i64("drops", stored.drops, fresh.drops);
+}
+
 void diff_ledger(DiffFinder& d, const std::string& where,
                  const obs::LedgerTotals& stored,
                  const obs::LedgerTotals& fresh) {
@@ -730,6 +836,10 @@ std::string normalized_summary_json(obs::RunSummary summary) {
   summary.wall_s = 0.0;
   summary.phases.clear();
   summary.trace_events = 0;
+  // The spatial-balance block is capsule-compared through the dedicated
+  // telemetry section, not the summary text — and goldens recorded before
+  // the block existed must keep replaying byte-identically.
+  summary.node_telemetry.reset();
   return summary.to_json().dump(2);
 }
 
@@ -747,7 +857,7 @@ RunCapsule record_single_shot(const Scenario& scenario,
   c.fault_plan = make_fault_plan(options.fault, scenario.deployment, c.sink);
   c.rounds = {scenario.readings};
   check_readings(c);
-  c.single = execute_single_shot(c, nullptr);
+  c.single = execute_single_shot(c, nullptr, &c.telemetry);
   return c;
 }
 
@@ -769,7 +879,7 @@ RunCapsule record_continuous(const Scenario& scenario,
   c.rounds = std::move(round_readings);
   check_readings(c);
   execute_continuous(c, nullptr, c.round_outputs, c.final_contours,
-                     c.final_summary_json);
+                     c.final_summary_json, &c.telemetry);
   return c;
 }
 
@@ -777,10 +887,11 @@ RunCapsule replay(const RunCapsule& stored, obs::TraceSink* trace) {
   check_readings(stored);
   RunCapsule fresh = stored;
   if (stored.kind == RunKind::kSingleShot) {
-    fresh.single = execute_single_shot(stored, trace);
+    fresh.single = execute_single_shot(stored, trace, &fresh.telemetry);
   } else {
     execute_continuous(stored, trace, fresh.round_outputs,
-                       fresh.final_contours, fresh.final_summary_json);
+                       fresh.final_contours, fresh.final_summary_json,
+                       &fresh.telemetry);
   }
   return fresh;
 }
@@ -822,6 +933,10 @@ std::optional<OutputDiff> diff_outputs(const RunCapsule& stored,
     diff_contours(d, "single.contours", s.contours, f.contours);
     diff_ledger(d, "single.ledger", s.ledger, f.ledger);
     d.eq_s("single.summary", s.summary_json, f.summary_json);
+    // Telemetry is compared only when the stored capsule carries the
+    // section: pre-telemetry goldens keep their original surface.
+    if (stored.telemetry && fresh.telemetry)
+      diff_telemetry(d, *stored.telemetry, *fresh.telemetry);
     return d.result();
   }
   d.eq_i("rounds.count", static_cast<long long>(stored.round_outputs.size()),
@@ -869,6 +984,8 @@ std::optional<OutputDiff> diff_outputs(const RunCapsule& stored,
                 fresh.final_contours);
   d.eq_s("final_map.summary", stored.final_summary_json,
          fresh.final_summary_json);
+  if (stored.telemetry && fresh.telemetry)
+    diff_telemetry(d, *stored.telemetry, *fresh.telemetry);
   return d.result();
 }
 
@@ -910,6 +1027,7 @@ Capsule to_capsule(const RunCapsule& run) {
     c.add(kRoundOutputsTag, encode_round_outputs(run.round_outputs));
     c.add(kFinalMapTag, encode_final_map(run));
   }
+  if (run.telemetry) c.add(kTelemetryTag, encode_telemetry(*run.telemetry));
   return c;
 }
 
@@ -943,6 +1061,11 @@ RunCapsule from_capsule(const Capsule& c) {
         run.round_outputs);
     decode_final_map(Reader(require(c, kFinalMapTag, "final_map").payload),
                      run);
+  }
+  if (const Section* s = c.find(kTelemetryTag)) {
+    obs::NodeTelemetrySnapshot t;
+    decode_telemetry(Reader(s->payload), t);
+    run.telemetry = std::move(t);
   }
   return run;
 }

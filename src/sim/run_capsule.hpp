@@ -126,6 +126,12 @@ struct RunCapsule {
   std::vector<RoundOutputs> round_outputs;
   std::vector<LevelContour> final_contours;  ///< Last round's map.
   std::string final_summary_json;            ///< Last round, normalized.
+
+  /// Per-node flight-recorder snapshot of the run (tag 11, optional).
+  /// Capsules recorded before the telemetry section existed simply lack
+  /// it — diff_outputs() only compares telemetry when both sides carry
+  /// one, so the golden corpus replays unchanged.
+  std::optional<obs::NodeTelemetrySnapshot> telemetry;
 };
 
 /// A RunSummary stripped of everything legitimately run-dependent (wall

@@ -13,13 +13,14 @@ namespace {
 /// lives on the stack: observability state never leaks between runs.
 template <typename Body>
 auto observed_run(const char* protocol, const Scenario& scenario,
-                  obs::TraceSink* trace, Body&& body) {
+                  obs::TraceSink* trace, obs::NodeTelemetry* telemetry,
+                  Body&& body) {
   Ledger ledger(scenario.deployment.size());
   obs::MetricsRegistry metrics;
   const std::size_t events_before = trace ? trace->events() : 0;
   const auto start = std::chrono::steady_clock::now();
   auto result = [&] {
-    const obs::ObsScope scope(&metrics, trace);
+    const obs::ObsScope scope(&metrics, trace, telemetry);
     return body(ledger);
   }();
   const double wall_s =
@@ -27,7 +28,7 @@ auto observed_run(const char* protocol, const Scenario& scenario,
           .count();
   obs::RunSummary summary = obs::make_run_summary(
       protocol, metrics, ledger_totals(ledger), wall_s,
-      trace ? trace->events() - events_before : 0);
+      trace ? trace->events() - events_before : 0, telemetry);
   return std::make_tuple(std::move(result), std::move(ledger),
                          std::move(summary));
 }
@@ -46,9 +47,9 @@ obs::LedgerTotals ledger_totals(const Ledger& ledger) {
 }
 
 IsoMapRun run_isomap(const Scenario& scenario, const IsoMapOptions& options,
-                     obs::TraceSink* trace) {
+                     obs::TraceSink* trace, obs::NodeTelemetry* telemetry) {
   auto [result, ledger, summary] =
-      observed_run("isomap", scenario, trace, [&](Ledger& l) {
+      observed_run("isomap", scenario, trace, telemetry, [&](Ledger& l) {
         IsoMapProtocol protocol(options);
         return protocol.run(scenario.readings, scenario.deployment,
                             scenario.graph, scenario.tree, l);
@@ -63,14 +64,15 @@ IsoMapOptions isomap_options(const Scenario& scenario, int num_levels) {
 }
 
 IsoMapRun run_isomap(const Scenario& scenario, int num_levels,
-                     obs::TraceSink* trace) {
-  return run_isomap(scenario, isomap_options(scenario, num_levels), trace);
+                     obs::TraceSink* trace, obs::NodeTelemetry* telemetry) {
+  return run_isomap(scenario, isomap_options(scenario, num_levels), trace,
+                    telemetry);
 }
 
 TinyDBRun run_tinydb(const Scenario& scenario, TinyDBOptions options,
-                     obs::TraceSink* trace) {
+                     obs::TraceSink* trace, obs::NodeTelemetry* telemetry) {
   auto [result, ledger, summary] =
-      observed_run("tinydb", scenario, trace, [&](Ledger& l) {
+      observed_run("tinydb", scenario, trace, telemetry, [&](Ledger& l) {
         TinyDBProtocol protocol(options);
         return protocol.run(scenario.deployment, scenario.readings,
                             scenario.tree, l);
@@ -79,9 +81,9 @@ TinyDBRun run_tinydb(const Scenario& scenario, TinyDBOptions options,
 }
 
 InlrRun run_inlr(const Scenario& scenario, InlrOptions options,
-                 obs::TraceSink* trace) {
+                 obs::TraceSink* trace, obs::NodeTelemetry* telemetry) {
   auto [result, ledger, summary] =
-      observed_run("inlr", scenario, trace, [&](Ledger& l) {
+      observed_run("inlr", scenario, trace, telemetry, [&](Ledger& l) {
         InlrProtocol protocol(options);
         return protocol.run(scenario.deployment, scenario.readings,
                             scenario.tree, l);
@@ -90,9 +92,9 @@ InlrRun run_inlr(const Scenario& scenario, InlrOptions options,
 }
 
 EScanRun run_escan(const Scenario& scenario, EScanOptions options,
-                   obs::TraceSink* trace) {
+                   obs::TraceSink* trace, obs::NodeTelemetry* telemetry) {
   auto [result, ledger, summary] =
-      observed_run("escan", scenario, trace, [&](Ledger& l) {
+      observed_run("escan", scenario, trace, telemetry, [&](Ledger& l) {
         EScanProtocol protocol(options);
         return protocol.run(scenario.deployment, scenario.readings,
                             scenario.tree, l);
@@ -102,9 +104,10 @@ EScanRun run_escan(const Scenario& scenario, EScanOptions options,
 
 SuppressionRun run_suppression(const Scenario& scenario,
                                SuppressionOptions options,
-                               obs::TraceSink* trace) {
+                               obs::TraceSink* trace,
+                               obs::NodeTelemetry* telemetry) {
   auto [result, ledger, summary] =
-      observed_run("suppression", scenario, trace, [&](Ledger& l) {
+      observed_run("suppression", scenario, trace, telemetry, [&](Ledger& l) {
         SuppressionProtocol protocol(options);
         return protocol.run(scenario.deployment, scenario.readings,
                             scenario.graph, scenario.tree, l);

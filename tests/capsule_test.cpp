@@ -293,6 +293,49 @@ TEST(RunCapsuleTest, ReplayStreamsTrace) {
   EXPECT_FALSE(diff_outputs(run, fresh).has_value());
 }
 
+TEST(RunCapsuleTest, PreTelemetryCapsulesReplayBitIdentically) {
+  // Capsules recorded before the telemetry section existed carry no
+  // tag-11 section (the committed golden corpus is exactly this). They
+  // must keep replaying bit-identically: replay records a fresh
+  // telemetry table, and diff_outputs only compares telemetry when BOTH
+  // sides carry one.
+  const RunCapsule run = small_single_shot();
+  ASSERT_TRUE(run.telemetry.has_value());
+  Capsule c = to_capsule(run);
+  std::erase_if(c.sections,
+                [](const Section& s) { return s.tag == 11; });
+  const RunCapsule old = from_capsule(Capsule::decode(c.encode()));
+  EXPECT_FALSE(old.telemetry.has_value());
+  const RunCapsule fresh = replay(old);
+  EXPECT_TRUE(fresh.telemetry.has_value());
+  const auto diff = diff_outputs(old, fresh);
+  EXPECT_FALSE(diff.has_value()) << diff->where << ": " << diff->detail;
+  // The stripped capsule's outputs agree with the original's too.
+  EXPECT_FALSE(diff_outputs(run, old).has_value());
+}
+
+TEST(RunCapsuleTest, TelemetrySectionRoundTripsBitwise) {
+  const RunCapsule run = small_single_shot();
+  ASSERT_TRUE(run.telemetry.has_value());
+  const RunCapsule back =
+      from_capsule(Capsule::decode(to_capsule(run).encode()));
+  ASSERT_TRUE(back.telemetry.has_value());
+  EXPECT_EQ(back.telemetry->tx_bytes, run.telemetry->tx_bytes);
+  EXPECT_EQ(back.telemetry->rx_bytes, run.telemetry->rx_bytes);
+  EXPECT_EQ(back.telemetry->ops, run.telemetry->ops);
+  EXPECT_EQ(back.telemetry->hops, run.telemetry->hops);
+  EXPECT_EQ(back.telemetry->generated, run.telemetry->generated);
+  EXPECT_EQ(back.telemetry->delivered, run.telemetry->delivered);
+  EXPECT_EQ(back.telemetry->lost_channel, run.telemetry->lost_channel);
+  EXPECT_EQ(back.telemetry->lost_crash, run.telemetry->lost_crash);
+  // A replay of the telemetry-carrying capsule reproduces the stored
+  // table bit for bit — diff_outputs now covers the telemetry arrays.
+  const RunCapsule fresh = replay(back);
+  ASSERT_TRUE(fresh.telemetry.has_value());
+  const auto diff = diff_outputs(back, fresh);
+  EXPECT_FALSE(diff.has_value()) << diff->where << ": " << diff->detail;
+}
+
 // ---------------------------------------------------------------------------
 // Fuzz-ish decoder robustness. Run under ASan/UBSan in CI.
 

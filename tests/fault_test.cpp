@@ -3,8 +3,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "exec/exec.hpp"
 #include "fault/fault.hpp"
 #include "net/ledger.hpp"
+#include "obs/node_telemetry.hpp"
 #include "obs/obs.hpp"
 #include "sim/runners.hpp"
 #include "util/json.hpp"
@@ -308,6 +310,92 @@ TEST(ChaosRun, DeterministicForIdenticalConfig) {
   EXPECT_EQ(a.result.crashed_nodes, b.result.crashed_nodes);
   EXPECT_EQ(a.result.route_repairs, b.result.route_repairs);
   EXPECT_DOUBLE_EQ(a.ledger.total_tx_bytes(), b.ledger.total_tx_bytes());
+}
+
+/// Sum of the four per-node report fates — the right-hand side of the
+/// conservation identity generated == delivered + filtered + lost.
+long long accounted(const obs::NodeTelemetry& t, int v) {
+  return t.delivered(v) + t.filtered(v) + t.lost_channel(v) +
+         t.lost_crash(v);
+}
+
+TEST(ChaosRun, TelemetryConservesReportsPerNodeUnderChaos) {
+  // Crashes + region blackout + bursty channel, with filtering on: every
+  // loss mechanism is live at once. The flight recorder must account for
+  // every report per SOURCE node, and its charge arrays must equal the
+  // Ledger's bit for bit — at 1 worker thread and at 4 (telemetry rides
+  // the serial protocol path; exec workers run under an empty context).
+  const Scenario s = chaos_scenario(6);
+  IsoMapOptions options = isomap_options(s, 4);
+  options.fault.crash_fraction = 0.08;
+  options.fault.blackout = true;
+  options.fault.blackout_center = {35, 35};
+  options.fault.blackout_radius = 6.0;
+  options.fault.blackout_time = 0.4;
+  options.link_burst = GilbertElliottParams{0.05, 0.2, 0.02, 0.9};
+  options.link_retries = 2;
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    exec::set_thread_count(threads);
+    obs::NodeTelemetry telemetry(s.graph.size());
+    const IsoMapRun run = run_isomap(s, options, nullptr, &telemetry);
+    exec::set_thread_count(0);
+    ASSERT_GT(run.result.lost_crash_reports, 0);
+    ASSERT_GT(run.result.lost_channel_reports, 0);
+    ASSERT_GT(run.result.filtered_reports, 0);
+
+    long long generated = 0, delivered = 0, filtered = 0;
+    long long lost_channel = 0, lost_crash = 0;
+    for (int v = 0; v < s.graph.size(); ++v) {
+      // Charges are posted adjacent to the Ledger's own array writes, in
+      // the same order with the same amounts — equality is exact.
+      EXPECT_EQ(telemetry.tx_bytes(v), run.ledger.tx_bytes(v)) << v;
+      EXPECT_EQ(telemetry.rx_bytes(v), run.ledger.rx_bytes(v)) << v;
+      EXPECT_EQ(telemetry.ops(v), run.ledger.ops(v)) << v;
+      EXPECT_EQ(telemetry.generated(v), accounted(telemetry, v)) << v;
+      generated += telemetry.generated(v);
+      delivered += telemetry.delivered(v);
+      filtered += telemetry.filtered(v);
+      lost_channel += telemetry.lost_channel(v);
+      lost_crash += telemetry.lost_crash(v);
+    }
+    // The per-node fates sum to exactly the run's aggregate counters.
+    EXPECT_EQ(generated, run.result.generated_reports);
+    EXPECT_EQ(delivered, run.result.delivered_reports);
+    EXPECT_EQ(filtered, run.result.filtered_reports);
+    EXPECT_EQ(lost_channel, run.result.lost_channel_reports);
+    EXPECT_EQ(lost_crash, run.result.lost_crash_reports);
+  }
+}
+
+TEST(ChaosRun, TelemetryIdenticalAcrossThreadCounts) {
+  // The whole table — charges, fates, hops — must be invariant to the
+  // worker-pool size, or the flight recorder would make parallel runs
+  // unreproducible.
+  const Scenario s = chaos_scenario(7);
+  IsoMapOptions options = isomap_options(s, 4);
+  options.fault.crash_fraction = 0.10;
+  options.link_loss = 0.15;
+  options.link_retries = 2;
+  exec::set_thread_count(1);
+  obs::NodeTelemetry serial(s.graph.size());
+  run_isomap(s, options, nullptr, &serial);
+  exec::set_thread_count(4);
+  obs::NodeTelemetry pooled(s.graph.size());
+  run_isomap(s, options, nullptr, &pooled);
+  exec::set_thread_count(0);
+  for (int v = 0; v < s.graph.size(); ++v) {
+    EXPECT_EQ(serial.tx_bytes(v), pooled.tx_bytes(v)) << v;
+    EXPECT_EQ(serial.rx_bytes(v), pooled.rx_bytes(v)) << v;
+    EXPECT_EQ(serial.ops(v), pooled.ops(v)) << v;
+    EXPECT_EQ(serial.hops(v), pooled.hops(v)) << v;
+    EXPECT_EQ(serial.generated(v), pooled.generated(v)) << v;
+    EXPECT_EQ(serial.delivered(v), pooled.delivered(v)) << v;
+    EXPECT_EQ(serial.lost_channel(v), pooled.lost_channel(v)) << v;
+    EXPECT_EQ(serial.lost_crash(v), pooled.lost_crash(v)) << v;
+    EXPECT_EQ(serial.relayed(v), pooled.relayed(v)) << v;
+    EXPECT_EQ(serial.retries(v), pooled.retries(v)) << v;
+  }
 }
 
 TEST(ChaosRun, TraceReconcilesWithLedgerUnderLossAndRepairs) {

@@ -1,0 +1,301 @@
+// isomap_inspect: spatial-telemetry analyzer over a recorded run capsule.
+// Re-executes the capsule's inputs with a NodeTelemetry flight recorder
+// installed and reports where the traffic and energy actually landed:
+// top-K talkers, the per-hop-ring traffic curve behind the paper's
+// O(sqrt(n)) convergecast claim, energy-balance statistics (Gini,
+// max/mean), and the convergecast critical path. Optionally exports the
+// per-node energy surface as heatmap artifacts (CSV grid / GeoJSON
+// points / per-ring CSV).
+//
+// Usage: isomap_inspect <run.capsule> [--threads=N] [--reconcile]
+//                       [--trace=<out.jsonl>] [--top=K] [--grid=R]
+//                       [--heatmap-csv=<path>] [--heatmap-geojson=<path>]
+//                       [--ring-csv=<path>]
+//
+// --reconcile turns the run into an invariant check and exits nonzero on
+// the first violation:
+//   * per-node telemetry tx/rx/ops must equal the Ledger's own per-node
+//     arrays bit for bit (charges are posted adjacently, in the same
+//     order, with the same amounts);
+//   * recomputed ledger totals must equal the capsule's stored totals
+//     bit for bit (replay determinism);
+//   * on single-shot capsules, every node's generated reports must be
+//     fully accounted: generated == delivered + filtered + lost_channel
+//     + lost_crash (continuous runs re-filter at the sink each round, so
+//     the per-report identity only holds for the single-shot protocol);
+//   * with --trace, the trace's summed cost events must match the ledger
+//     totals to 1e-6 relative (broadcasts emit one aggregated event, so
+//     the check is on totals, not per node).
+//
+// Exit codes: 0 ok, 1 reconcile violation, 2 usage/I-O error, 3 capsule
+// decode error.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/heatmap.hpp"
+#include "exec/exec.hpp"
+#include "isomap/continuous.hpp"
+#include "isomap/protocol.hpp"
+#include "net/ledger.hpp"
+#include "obs/node_telemetry.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "sim/run_capsule.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+using namespace isomap;
+
+namespace {
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Sum the cost events of a JSONL trace file (span/loss/phase/drop lines
+/// carry no byte amounts and unknown kinds are skipped).
+struct TraceTotals {
+  double tx = 0.0, rx = 0.0, ops = 0.0;
+  long long lines = 0;
+};
+
+TraceTotals sum_trace(const std::string& path) {
+  TraceTotals t;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++t.lines;
+    const auto parsed = JsonValue::parse(line);
+    if (!parsed || !parsed->is_object()) continue;
+    t.tx += parsed->number_or("tx_bytes", 0.0);
+    t.rx += parsed->number_or("rx_bytes", 0.0);
+    t.ops += parsed->number_or("ops", 0.0);
+  }
+  return t;
+}
+
+bool close_rel(double a, double b, double tol) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= tol * std::max(scale, 1.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::cerr << "usage: isomap_inspect <run.capsule> [--threads=N] "
+                 "[--reconcile] [--trace=<out.jsonl>] [--top=K] [--grid=R] "
+                 "[--heatmap-csv=<path>] [--heatmap-geojson=<path>] "
+                 "[--ring-csv=<path>]\n";
+    return 2;
+  }
+  if (const int threads = args.get_int("threads", 0); threads > 0)
+    exec::set_thread_count(threads);
+  const int top_k = args.get_int("top", 5);
+  const int grid = args.get_int("grid", 32);
+
+  const std::string path = args.positional().front();
+  capsule::RunCapsule c;
+  try {
+    c = capsule::load(path);
+  } catch (const capsule::CapsuleError& e) {
+    std::cerr << "isomap_inspect: " << path << ": " << e.what() << "\n";
+    return 3;
+  }
+
+  std::unique_ptr<obs::TraceSink> trace;
+  if (const auto trace_path = args.get("trace")) {
+    trace = std::make_unique<obs::TraceSink>(*trace_path);
+    if (!trace->ok()) {
+      std::cerr << "isomap_inspect: cannot write trace to " << *trace_path
+                << "\n";
+      return 2;
+    }
+  }
+
+  // Re-execute the capsule's inputs with the flight recorder installed,
+  // keeping the Ledger in hand for the per-node reconcile.
+  const Deployment deployment = c.deployment.materialize();
+  const CommGraph graph(deployment, c.radio_range);
+  const RoutingTree tree(graph, c.sink);
+  const int n = deployment.size();
+  Ledger ledger(n);
+  obs::NodeTelemetry telemetry(n);
+  // Seed hop distances from the initial tree; the single-shot protocol
+  // (and any mid-run repair) refreshes them itself.
+  for (int v = 0; v < n; ++v) telemetry.set_hops(v, tree.level(v));
+  obs::MetricsRegistry metrics;
+  const bool single = c.kind == capsule::RunKind::kSingleShot;
+  {
+    const obs::ObsScope scope(&metrics, trace.get(), &telemetry);
+    if (single) {
+      const IsoMapProtocol protocol(c.options);
+      protocol.run(c.rounds.front(), deployment, graph, tree, ledger);
+    } else {
+      ContinuousOptions opts = c.continuous;
+      opts.base = c.options;
+      ContinuousMapper mapper(opts, deployment, graph, tree);
+      for (const auto& round : c.rounds) mapper.round(round, ledger);
+    }
+  }
+  if (trace) trace->flush();
+
+  std::cout << "capsule:  " << c.label << " ("
+            << (single ? "single-shot" : "continuous") << ", " << n
+            << " nodes, sink " << c.sink << ")\n";
+
+  // --- Reconcile invariants -------------------------------------------
+  int violations = 0;
+  const auto violation = [&](const std::string& what) {
+    ++violations;
+    std::cerr << "RECONCILE FAIL: " << what << "\n";
+  };
+  for (int v = 0; v < n; ++v) {
+    if (!bits_equal(telemetry.tx_bytes(v), ledger.tx_bytes(v)))
+      violation("node " + std::to_string(v) + " tx_bytes telemetry=" +
+                std::to_string(telemetry.tx_bytes(v)) + " ledger=" +
+                std::to_string(ledger.tx_bytes(v)));
+    if (!bits_equal(telemetry.rx_bytes(v), ledger.rx_bytes(v)))
+      violation("node " + std::to_string(v) + " rx_bytes telemetry=" +
+                std::to_string(telemetry.rx_bytes(v)) + " ledger=" +
+                std::to_string(ledger.rx_bytes(v)));
+    if (!bits_equal(telemetry.ops(v), ledger.ops(v)))
+      violation("node " + std::to_string(v) + " ops telemetry=" +
+                std::to_string(telemetry.ops(v)) + " ledger=" +
+                std::to_string(ledger.ops(v)));
+    if (violations > 5) break;
+  }
+  const obs::LedgerTotals& stored =
+      single ? c.single.ledger : c.round_outputs.back().ledger;
+  if (!bits_equal(ledger.total_tx_bytes(), stored.tx_bytes) ||
+      !bits_equal(ledger.total_rx_bytes(), stored.rx_bytes) ||
+      !bits_equal(ledger.total_ops(), stored.ops))
+    violation("recomputed ledger totals differ from the capsule's stored "
+              "totals (behavioural drift?)");
+  if (single) {
+    for (int v = 0; v < n; ++v) {
+      const long long accounted =
+          telemetry.delivered(v) + telemetry.filtered(v) +
+          telemetry.lost_channel(v) + telemetry.lost_crash(v);
+      if (telemetry.generated(v) != accounted) {
+        violation("node " + std::to_string(v) + " report conservation: "
+                  "generated=" + std::to_string(telemetry.generated(v)) +
+                  " accounted=" + std::to_string(accounted));
+        if (violations > 5) break;
+      }
+    }
+  }
+  if (trace) {
+    const TraceTotals t = sum_trace(*args.get("trace"));
+    if (!close_rel(t.tx, ledger.total_tx_bytes(), 1e-6) ||
+        !close_rel(t.rx, ledger.total_rx_bytes(), 1e-6) ||
+        !close_rel(t.ops, ledger.total_ops(), 1e-6))
+      violation("trace cost totals diverge from ledger totals beyond 1e-6");
+    std::cout << "trace:    " << t.lines << " events -> "
+              << *args.get("trace") << "\n";
+  }
+  std::cout << "reconcile: "
+            << (violations == 0 ? "OK (telemetry == ledger per node)"
+                                : std::to_string(violations) + " violation(s)")
+            << "\n\n";
+
+  // --- Analysis tables -------------------------------------------------
+  const obs::NodeTelemetrySummary summary =
+      telemetry.summarize(static_cast<std::size_t>(top_k));
+  std::vector<double> energy(static_cast<std::size_t>(n));
+  std::vector<double> tx(static_cast<std::size_t>(n));
+  std::vector<int> hops(static_cast<std::size_t>(n));
+  std::vector<Vec2> positions;
+  positions.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    energy[static_cast<std::size_t>(v)] = telemetry.energy_j(v);
+    tx[static_cast<std::size_t>(v)] = telemetry.tx_bytes(v);
+    hops[static_cast<std::size_t>(v)] = telemetry.hops(v);
+    positions.push_back(deployment.node(v).pos);
+  }
+
+  std::cout << "Top talkers (by energy):\n";
+  Table talkers({"node", "hops", "tx_bytes", "rx_bytes", "ops", "energy_mJ",
+                 "generated", "relayed", "retries", "drops"});
+  for (int id : summary.hotspots) {
+    talkers.row()
+        .cell(id)
+        .cell(telemetry.hops(id))
+        .cell(telemetry.tx_bytes(id), 1)
+        .cell(telemetry.rx_bytes(id), 1)
+        .cell(telemetry.ops(id), 1)
+        .cell(telemetry.energy_j(id) * 1000.0, 4)
+        .cell(telemetry.generated(id))
+        .cell(telemetry.relayed(id))
+        .cell(telemetry.retries(id))
+        .cell(telemetry.drops(id));
+  }
+  talkers.print(std::cout);
+
+  // Ring curve: traffic per tree-distance ring. The sqrt(n)-normalized
+  // column is the paper's scaling lens — Iso-Map's per-ring report load
+  // stays O(sqrt(n)) instead of O(n) because only the ~sqrt(n) isoline
+  // nodes report (Section 4).
+  const std::vector<RingAggregate> rings = aggregate_by_ring(hops, tx);
+  const double sqrt_n = std::sqrt(static_cast<double>(std::max(1, n)));
+  std::cout << "\nPer-ring traffic (tx bytes by hops-to-sink):\n";
+  Table ring_table(
+      {"hops", "nodes", "total_tx", "mean_tx", "max_tx", "total/sqrt(n)"});
+  for (const RingAggregate& ring : rings) {
+    ring_table.row()
+        .cell(ring.hops)
+        .cell(ring.node_count)
+        .cell(ring.total, 1)
+        .cell(ring.mean(), 1)
+        .cell(ring.max, 1)
+        .cell(ring.total / sqrt_n, 2);
+  }
+  ring_table.print(std::cout);
+
+  int critical_path = 0;
+  for (int v = 0; v < n; ++v)
+    if (telemetry.delivered(v) > 0 && telemetry.hops(v) > critical_path)
+      critical_path = telemetry.hops(v);
+  std::cout << "\nBalance: " << summary.active_nodes << "/" << n
+            << " nodes active, energy gini " << summary.energy_gini
+            << ", max/mean " << summary.energy_max_over_mean
+            << ", critical path " << critical_path
+            << " hop(s) (deepest delivered source)\n";
+
+  // --- Heatmap artifacts ----------------------------------------------
+  if (const auto out = args.get("heatmap-csv")) {
+    if (!save_text(*out, heatmap_csv_grid(deployment.bounds(), positions,
+                                          energy, grid, grid))) {
+      std::cerr << "isomap_inspect: cannot write " << *out << "\n";
+      return 2;
+    }
+    std::cout << "wrote energy heatmap grid -> " << *out << "\n";
+  }
+  if (const auto out = args.get("heatmap-geojson")) {
+    if (!save_text(*out,
+                   heatmap_geojson(positions, energy, hops, "energy_j"))) {
+      std::cerr << "isomap_inspect: cannot write " << *out << "\n";
+      return 2;
+    }
+    std::cout << "wrote energy heatmap points -> " << *out << "\n";
+  }
+  if (const auto out = args.get("ring-csv")) {
+    if (!save_text(*out, ring_csv(rings))) {
+      std::cerr << "isomap_inspect: cannot write " << *out << "\n";
+      return 2;
+    }
+    std::cout << "wrote ring traffic table -> " << *out << "\n";
+  }
+
+  return args.has("reconcile") && violations > 0 ? 1 : 0;
+}

@@ -3,7 +3,7 @@
 // regression oracle behind the CI golden-gate job (docs/REPLAY.md).
 //
 // Usage: isomap_replay <run.capsule> [--diff] [--info] [--threads=N]
-//                      [--trace=<replay.jsonl>]
+//                      [--trace=<replay.jsonl>] [--telemetry=<out.json>]
 //
 // Default (and --diff) mode replays the capsule's inputs through the
 // live protocol code and compares every output section bit for bit:
@@ -13,8 +13,11 @@
 // replaying. --threads sizes the exec pool (outputs are thread-count
 // invariant by the determinism contract — the golden gate runs the
 // corpus at 1 and 4 threads to enforce exactly that). --trace streams
-// the replayed run's JSONL trace for tools/trace_summary.
+// the replayed run's JSONL trace for tools/trace_summary. --telemetry
+// dumps the replayed run's per-node flight-recorder table (plus node
+// positions and the ledger totals) as JSON for tools/isomap_inspect.
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -23,6 +26,7 @@
 #include "obs/trace.hpp"
 #include "sim/run_capsule.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 
 using namespace isomap;
 
@@ -92,6 +96,50 @@ int main(int argc, char** argv) {
   }
 
   const capsule::RunCapsule fresh = capsule::replay(stored, trace.get());
+
+  if (const auto telemetry_path = args.get("telemetry")) {
+    if (!fresh.telemetry) {
+      std::cerr << "isomap_replay: replay produced no telemetry\n";
+      return 2;
+    }
+    JsonValue doc = JsonValue::object();
+    doc["label"] = JsonValue(fresh.label);
+    doc["kind"] = JsonValue(fresh.kind == capsule::RunKind::kSingleShot
+                                ? "single"
+                                : "continuous");
+    doc["nodes"] = JsonValue(fresh.deployment.nodes.size());
+    doc["sink"] = JsonValue(fresh.sink);
+    JsonValue& bounds = doc["bounds"];
+    bounds = JsonValue::object();
+    bounds["x0"] = JsonValue(fresh.deployment.bounds.x0);
+    bounds["y0"] = JsonValue(fresh.deployment.bounds.y0);
+    bounds["x1"] = JsonValue(fresh.deployment.bounds.x1);
+    bounds["y1"] = JsonValue(fresh.deployment.bounds.y1);
+    JsonValue& positions = doc["positions"];
+    positions = JsonValue::array();
+    for (const auto& node : fresh.deployment.nodes) {
+      JsonValue p = JsonValue::array();
+      p.push_back(JsonValue(node.pos.x));
+      p.push_back(JsonValue(node.pos.y));
+      positions.push_back(std::move(p));
+    }
+    const obs::LedgerTotals& totals =
+        fresh.kind == capsule::RunKind::kSingleShot
+            ? fresh.single.ledger
+            : fresh.round_outputs.back().ledger;
+    doc["ledger"] = totals.to_json();
+    doc["telemetry"] = fresh.telemetry->to_json();
+    std::ofstream out(*telemetry_path);
+    out << doc.dump(2) << "\n";
+    if (!out) {
+      std::cerr << "isomap_replay: cannot write telemetry to "
+                << *telemetry_path << "\n";
+      return 2;
+    }
+    std::cout << "telemetry: " << fresh.telemetry->size() << " nodes -> "
+              << *telemetry_path << "\n";
+  }
+
   if (trace) {
     trace->flush();
     std::cout << "trace:    " << trace->events() << " events -> "

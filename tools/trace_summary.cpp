@@ -1,20 +1,36 @@
 // trace_summary: aggregate a JSONL run trace (produced by an
-// obs::TraceSink, e.g. `quickstart --trace=trace.jsonl`) into per-phase
-// and per-isolevel cost tables.
+// obs::TraceSink, e.g. `quickstart --trace=trace.jsonl`) into per-phase,
+// per-isolevel, and (on request) per-node cost tables.
 //
-// Usage: trace_summary <trace.jsonl> [--csv=<out.csv>]
+// Usage: trace_summary <trace.jsonl> [--csv=<out.csv>] [--by-phase]
+//                      [--by-node] [--top=K]
 //
-// Per-phase: event count, transmitted/received bytes, arithmetic ops,
-// filter drops and wall time (from "phase" events). Per-isolevel: how
-// many selection events and filter drops each isolevel produced — the
-// event-by-event view behind Figs. 9 and 13. The grand totals row
-// reconciles with the run's Ledger totals by construction (every ledger
-// charge is mirrored as one "cost" event).
+// Per-phase (the default, and --by-phase): event count,
+// transmitted/received bytes, arithmetic ops, filter drops and wall time
+// (from "phase" events). Per-isolevel: how many selection events and
+// filter drops each isolevel produced — the event-by-event view behind
+// Figs. 9 and 13. The grand totals row reconciles with the run's Ledger
+// totals by construction (every ledger charge is mirrored as one "cost"
+// event). --by-node aggregates the same costs by node id: tx bytes and
+// ops are exact (each cost event names its sender); rx bytes are
+// attributed only for unicast events (broadcast events carry one
+// aggregated rx total with no receiver list — the remainder is reported
+// as unattributed).
+//
+// Known event kinds: cost (absent kind), phase, drop, note, span, loss.
+// "span" events carry a report's causal id and hop counter — one event
+// per hop from generation (hop 0) to the sink — and "loss" events mark
+// where a report died; both feed the report-path summary. Lines with an
+// unknown kind are counted and skipped, never fatal: traces from newer
+// writers keep summarizing.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -36,12 +52,23 @@ struct LevelAgg {
   long long drops = 0;
 };
 
+struct NodeAgg {
+  long long events = 0;
+  long long spans = 0;
+  long long drops = 0;
+  long long losses = 0;
+  double tx_bytes = 0.0;
+  double rx_bytes = 0.0;  ///< Unicast-attributed only.
+  double ops = 0.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const isomap::CliArgs args(argc, argv);
   if (args.positional().empty()) {
-    std::cerr << "usage: trace_summary <trace.jsonl> [--csv=<out.csv>]\n";
+    std::cerr << "usage: trace_summary <trace.jsonl> [--csv=<out.csv>] "
+                 "[--by-phase] [--by-node] [--top=K]\n";
     return 2;
   }
   const std::string path = args.positional().front();
@@ -50,11 +77,18 @@ int main(int argc, char** argv) {
     std::cerr << "trace_summary: cannot open " << path << "\n";
     return 1;
   }
+  const bool by_node = args.has("by-node");
+  const int top_k = args.get_int("top", 20);
 
   std::map<std::string, PhaseAgg> phases;
   std::map<double, LevelAgg> levels;
+  std::map<long long, NodeAgg> nodes;
   PhaseAgg total;
-  long long lines = 0, bad_lines = 0;
+  double rx_unattributed = 0.0;
+  std::set<long long> span_reports;
+  long long span_events = 0, loss_events = 0;
+  int max_hop = 0;
+  long long lines = 0, bad_lines = 0, unknown_kinds = 0;
 
   std::string line;
   while (std::getline(in, line)) {
@@ -66,14 +100,38 @@ int main(int argc, char** argv) {
       continue;
     }
     const std::string kind = parsed->string_or("kind", "cost");
+    if (kind != "cost" && kind != "phase" && kind != "drop" &&
+        kind != "note" && kind != "span" && kind != "loss") {
+      ++unknown_kinds;
+      continue;
+    }
     const std::string phase = parsed->string_or("phase", "unphased");
     PhaseAgg& agg = phases[phase];
     ++agg.events;
     ++total.events;
+    const long long node =
+        static_cast<long long>(parsed->number_or("node", -1.0));
+    const long long peer =
+        static_cast<long long>(parsed->number_or("peer", -1.0));
     if (kind == "phase") {
       const double wall = parsed->number_or("wall_s", 0.0);
       agg.wall_s += wall;
       total.wall_s += wall;
+      continue;
+    }
+    if (kind == "span" || kind == "loss") {
+      const long long report =
+          static_cast<long long>(parsed->number_or("report", -1.0));
+      const int hop = static_cast<int>(parsed->number_or("hop", -1.0));
+      if (report >= 0) span_reports.insert(report);
+      if (kind == "span") {
+        ++span_events;
+        max_hop = std::max(max_hop, hop);
+        if (node >= 0) ++nodes[node].spans;
+      } else {
+        ++loss_events;
+        if (node >= 0) ++nodes[node].losses;
+      }
       continue;
     }
     const double tx = parsed->number_or("tx_bytes", 0.0);
@@ -85,10 +143,22 @@ int main(int argc, char** argv) {
     total.tx_bytes += tx;
     total.rx_bytes += rx;
     total.ops += ops;
+    if (node >= 0) {
+      NodeAgg& na = nodes[node];
+      ++na.events;
+      na.tx_bytes += tx;
+      na.ops += ops;
+      if (kind == "cost" && peer >= 0) {
+        nodes[peer].rx_bytes += rx;
+      } else {
+        rx_unattributed += rx;
+      }
+    }
     const isomap::JsonValue* level = parsed->find("isolevel");
     if (kind == "drop") {
       ++agg.drops;
       ++total.drops;
+      if (node >= 0) ++nodes[node].drops;
       if (level && level->is_number()) ++levels[level->as_number()].drops;
     } else if (kind == "note" && level && level->is_number()) {
       ++levels[level->as_number()].selections;
@@ -102,6 +172,8 @@ int main(int argc, char** argv) {
 
   std::cout << "Trace: " << path << " (" << lines << " events";
   if (bad_lines > 0) std::cout << ", " << bad_lines << " unparseable";
+  if (unknown_kinds > 0)
+    std::cout << ", " << unknown_kinds << " unknown-kind (skipped)";
   std::cout << ")\n\n";
 
   isomap::Table table({"phase", "events", "tx_bytes", "rx_bytes", "ops",
@@ -133,6 +205,46 @@ int main(int argc, char** argv) {
       by_level.row().cell(level, 3).cell(agg.selections).cell(agg.drops);
     }
     by_level.print(std::cout);
+  }
+
+  if (span_events > 0 || loss_events > 0) {
+    std::cout << "\nReport paths: " << span_reports.size()
+              << " report(s) traced, " << span_events << " span hop(s), "
+              << loss_events << " loss(es), critical path " << max_hop
+              << " hop(s)\n";
+  }
+
+  if (by_node && !nodes.empty()) {
+    std::vector<std::pair<long long, NodeAgg>> ranked(nodes.begin(),
+                                                      nodes.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second.tx_bytes != b.second.tx_bytes)
+        return a.second.tx_bytes > b.second.tx_bytes;
+      return a.first < b.first;
+    });
+    const std::size_t shown =
+        std::min<std::size_t>(ranked.size(),
+                              top_k > 0 ? static_cast<std::size_t>(top_k)
+                                        : ranked.size());
+    std::cout << "\nPer-node costs (top " << shown << " of " << ranked.size()
+              << " by tx_bytes; rx is unicast-attributed, "
+              << rx_unattributed
+              << " broadcast rx bytes not attributable per node):\n";
+    isomap::Table by_node_table({"node", "events", "tx_bytes", "rx_bytes",
+                                 "ops", "spans", "drops", "losses"});
+    for (std::size_t i = 0; i < shown; ++i) {
+      const auto& [id, agg] = ranked[i];
+      by_node_table.row()
+          .cell(id)
+          .cell(agg.events)
+          .cell(agg.tx_bytes, 1)
+          .cell(agg.rx_bytes, 1)
+          .cell(agg.ops, 1)
+          .cell(agg.spans)
+          .cell(agg.drops)
+          .cell(agg.losses);
+    }
+    by_node_table.print(std::cout);
   }
 
   if (const auto csv = args.get("csv")) {
