@@ -242,6 +242,85 @@ int main(int argc, char** argv) {
   }
   emit_table("ext_chaos_blackout", titlec, c);
 
+  const std::string titled = banner("Chaos (d)", "link impairment (jitter/dup/reorder/corrupt) x bursty x crashes",
+         "ARQ absorbs corruption as retransmissions, the receiver "
+         "suppresses duplicates, and the accounting identity still holds "
+         "with every impairment active at once");
+  Table d({"config", "delivered", "lost_channel", "dup_rx", "corrupt_rx",
+           "arq_timeouts", "e2e_last(s)", "accuracy_pct"});
+  const struct {
+    const char* label;
+    bool burst;
+    double crash;
+  } impair_configs[] = {
+      {"impair_only", false, 0.0},
+      {"impair+burst", true, 0.0},
+      {"impair+burst+crash10", true, 0.10},
+  };
+  struct ImpairTrial {
+    double delivered, lchan, dup, corrupt, timeouts, e2e, acc;
+  };
+  const auto impair_runs = sweep_trials(
+      std::size(impair_configs), kSeeds,
+      [&](std::size_t pi, int, std::uint64_t seed) {
+        const auto& cfg = impair_configs[pi];
+        const Scenario s = harbor_scenario(nodes, seed);
+        IsoMapOptions options = isomap_options(s, 4);
+        options.fault.crash_fraction = cfg.crash;
+        options.fault.seed = seed * 1013;
+        options.fault.self_healing = true;
+        if (cfg.burst) options.link_burst = kHeavyBurst;
+        options.link_retries = 3;
+        options.link_seed = seed * 977;
+        ImpairmentConfig impair;
+        impair.latency_s = 0.002;
+        impair.jitter_s = 0.004;
+        impair.dup_prob = 0.2;
+        impair.reorder_prob = 0.15;
+        impair.corrupt_prob = 0.08;
+        options.link_impair = impair;
+        options.link_arq.max_frame_attempts = 5;
+        const IsoMapRun run = run_isomap(s, options);
+        check_identity(run);
+        const auto& counters = run.summary.counters;
+        const auto counter = [&](const char* key) {
+          const auto it = counters.find(key);
+          return it != counters.end() ? it->second : 0.0;
+        };
+        return ImpairTrial{
+            static_cast<double>(run.result.delivered_reports),
+            static_cast<double>(run.result.lost_channel_reports),
+            counter("channel.dup_rx"),
+            counter("channel.corrupt_rx"),
+            counter("channel.arq_timeouts"),
+            run.result.e2e_last_latency_s,
+            mapping_accuracy(run.result.map, s.field,
+                             default_query(s.field, 4).isolevels(), 70) *
+                100.0};
+      });
+  for (std::size_t pi = 0; pi < std::size(impair_configs); ++pi) {
+    RunningStats delivered, lchan, dup, corrupt, timeouts, e2e, acc;
+    for (const ImpairTrial& t : impair_runs[pi]) {
+      delivered.add(t.delivered);
+      lchan.add(t.lchan);
+      dup.add(t.dup);
+      corrupt.add(t.corrupt);
+      timeouts.add(t.timeouts);
+      e2e.add(t.e2e);
+      acc.add(t.acc);
+    }
+    d.row()
+        .cell(impair_configs[pi].label)
+        .cell(delivered.mean(), 1)
+        .cell(lchan.mean(), 1)
+        .cell(dup.mean(), 1)
+        .cell(corrupt.mean(), 1)
+        .cell(timeouts.mean(), 1)
+        .cell(e2e.mean(), 4)
+        .cell(acc.mean(), 1);
+  }
+  emit_table("ext_chaos_impair", titled, d);
+
   // Per-node pass over one representative chaos run (10% crashes + heavy
   // burst, self-healing on) with the flight recorder installed: the
   // loss-accounting identity above is aggregate, this one must hold node

@@ -3,6 +3,8 @@
 //
 // Usage: quickstart [--nodes=2500] [--side=50] [--levels=4] [--seed=1]
 //                   [--threads=N] [--crash=0.1] [--burst] [--no-heal]
+//                   [--jitter=0.005] [--dup=0.1] [--reorder=0.1]
+//                   [--arq-window=4]
 //                   [--trace=<run.jsonl>] [--summary=<summary.json>]
 //
 // --threads sizes the exec thread pool used for sink-side map generation
@@ -15,7 +17,10 @@
 // counters, ledger totals) as a single JSON document.
 // --crash kills that fraction of nodes mid-convergecast (self-healing
 // routing repairs the tree unless --no-heal); --burst switches the link
-// to a Gilbert-Elliott bursty-loss channel. See docs/ROBUSTNESS.md.
+// to a Gilbert-Elliott bursty-loss channel. Any of --jitter (seconds),
+// --dup, --reorder (probabilities) or --arq-window engages the
+// link-impairment pipeline with sliding-window ARQ, and the run then
+// reports measured end-to-end map latency. See docs/ROBUSTNESS.md.
 
 #include <fstream>
 #include <iostream>
@@ -69,6 +74,18 @@ int main(int argc, char** argv) {
     options.link_burst = GilbertElliottParams{};  // Mild default bursts.
     options.link_seed = config.seed * 977;
   }
+  if (args.has("jitter") || args.has("dup") || args.has("reorder") ||
+      args.has("arq-window")) {
+    ImpairmentConfig impair;
+    impair.latency_s = 0.002;
+    impair.jitter_s = args.get_double("jitter", 0.0);
+    impair.dup_prob = args.get_double("dup", 0.0);
+    impair.reorder_prob = args.get_double("reorder", 0.0);
+    options.link_impair = impair;
+    options.link_arq.window = args.get_int("arq-window", 4);
+    options.link_impair->validate();
+    options.link_arq.validate();
+  }
   const IsoMapRun run = run_isomap(scenario, options, trace.get());
   const ContourQuery query = default_query(scenario.field, levels);
 
@@ -102,6 +119,13 @@ int main(int argc, char** argv) {
               << "\nTree repairs:           " << run.result.route_repairs
               << " (" << run.result.repair_traffic_bytes / 1024.0
               << " KB of beacons)\n";
+  }
+  if (options.link_impair) {
+    std::cout << "E2E map latency:        first "
+              << run.result.e2e_first_latency_s * 1000.0 << " ms, mean "
+              << run.result.e2e_mean_latency_s * 1000.0 << " ms, last "
+              << run.result.e2e_last_latency_s * 1000.0 << " ms (measured "
+              << "over the impaired ARQ link)\n";
   }
 
   const double accuracy = mapping_accuracy(run.result.map, scenario.field,

@@ -74,6 +74,12 @@ EScanResult EScanProtocol::run(const Deployment& deployment,
     ledger.compute(at_node, ops);
   };
 
+  Channel channel =
+      Channel::make(options_.link_loss, options_.link_retries,
+                    options_.link_seed, options_.link_burst,
+                    options_.link_impair, options_.link_arq);
+  const bool impaired = channel.impaired();
+  std::vector<double> arrival(static_cast<std::size_t>(n), 0.0);
   for (int u : tree.post_order()) {
     auto& outgoing = buffer[static_cast<std::size_t>(u)];
     if (outgoing.empty()) continue;
@@ -85,15 +91,31 @@ EScanResult EScanProtocol::run(const Deployment& deployment,
     const int p = tree.parent(u);
     const double bytes =
         static_cast<double>(outgoing.size()) * options_.tuple_bytes;
+    Channel::Transfer transfer;
     {
       const obs::PhaseTimer timer(obs::kPhaseReportRoute);
-      ledger.transmit(u, p, bytes);
+      transfer = channel.transfer(u, p, bytes, ledger);
     }
     result.traffic_bytes += bytes;
+    if (!transfer.delivered) {
+      ++result.batches_lost;
+      result.tuples_lost += static_cast<int>(outgoing.size());
+      outgoing.clear();
+      continue;
+    }
+    if (impaired) {
+      const auto pu = static_cast<std::size_t>(p);
+      arrival[pu] = std::max(
+          arrival[pu],
+          arrival[static_cast<std::size_t>(u)] + transfer.latency_s);
+    }
     auto& inbox = buffer[static_cast<std::size_t>(p)];
     inbox.insert(inbox.end(), outgoing.begin(), outgoing.end());
     outgoing.clear();
   }
+  if (impaired)
+    result.collection_latency_s =
+        arrival[static_cast<std::size_t>(tree.sink())];
   result.sink_tuples =
       std::move(buffer[static_cast<std::size_t>(tree.sink())]);
   result.tuples_at_sink = static_cast<int>(result.sink_tuples.size());

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "geometry/vec2.hpp"
+#include "net/channel.hpp"
 #include "net/deployment.hpp"
 #include "net/ledger.hpp"
 #include "net/routing_tree.hpp"
@@ -20,6 +23,17 @@ struct EScanOptions {
   double tuple_bytes = 12.0;       ///< min, max, bbox(4) at 2 bytes each.
   double value_tolerance = 1.0;    ///< Max value-interval width after merge.
   double adjacency_distance = 2.0; ///< Coverage adjacency threshold.
+
+  /// Link layer for the tuple convergecast (see net/channel.hpp); the
+  /// defaults reproduce the historical perfect-link behavior bit for bit.
+  /// A lost hop loses the whole outgoing tuple batch.
+  double link_loss = 0.0;
+  int link_retries = 3;
+  std::uint64_t link_seed = 0xC0FFEEULL;
+  std::optional<GilbertElliottParams> link_burst;
+  /// Impairment pipeline + sliding-window ARQ (net/impairment.hpp).
+  std::optional<ImpairmentConfig> link_impair;
+  ArqConfig link_arq;
 };
 
 /// A (VALUE, COVERAGE) tuple as received by the sink.
@@ -39,6 +53,14 @@ struct EScanResult {
   int tuples_at_sink = 0;
   double traffic_bytes = 0.0;
   std::vector<EScanTuple> sink_tuples;
+
+  /// Lossy-link accounting: hop batches that exhausted the ARQ and the
+  /// tuples they carried (both 0 on a perfect channel).
+  int batches_lost = 0;
+  int tuples_lost = 0;
+  /// Measured collection latency over the impaired pipeline (see
+  /// InlrResult::collection_latency_s). 0.0 when link_impair is unset.
+  double collection_latency_s = 0.0;
 
   /// Sink map: the estimate at p is the midpoint value of the smallest
   /// covering tuple (nearest coverage when none covers p); NaN when the

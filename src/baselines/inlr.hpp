@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "geometry/vec2.hpp"
+#include "net/channel.hpp"
 #include "net/deployment.hpp"
 #include "net/ledger.hpp"
 #include "net/routing_tree.hpp"
@@ -37,6 +40,17 @@ struct InlrOptions {
   /// regions near the sink are expensive — the source of INLR's growing
   /// per-node computation (Fig. 15).
   double integration_step = 1.0;
+
+  /// Link layer for the region convergecast (see net/channel.hpp); the
+  /// defaults reproduce the historical perfect-link behavior bit for bit.
+  /// A lost hop loses the whole outgoing region batch.
+  double link_loss = 0.0;
+  int link_retries = 3;
+  std::uint64_t link_seed = 0xC0FFEEULL;
+  std::optional<GilbertElliottParams> link_burst;
+  /// Impairment pipeline + sliding-window ARQ (net/impairment.hpp).
+  std::optional<ImpairmentConfig> link_impair;
+  ArqConfig link_arq;
 };
 
 /// A contour-region summary as received by the sink: the linear data
@@ -61,6 +75,16 @@ struct InlrResult {
   int regions_at_sink = 0;        ///< Aggregated regions the sink receives.
   double traffic_bytes = 0.0;
   std::vector<InlrRegion> sink_regions;
+
+  /// Lossy-link accounting: hop batches that exhausted the ARQ, and the
+  /// region summaries they carried (both 0 on a perfect channel).
+  int batches_lost = 0;
+  int regions_lost = 0;
+  /// Measured collection latency over the impaired pipeline: the virtual
+  /// time when the last region batch reached the sink (per-node arrival
+  /// time = max over children of child arrival + hop ARQ completion).
+  /// 0.0 when link_impair is unset.
+  double collection_latency_s = 0.0;
 
   /// Sink map reconstruction: the field estimate at q is the model of the
   /// containing region (smallest if nested; nearest bbox when none

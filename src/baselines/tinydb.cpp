@@ -1,5 +1,6 @@
 #include "baselines/tinydb.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 
@@ -26,24 +27,32 @@ TinyDBResult TinyDBProtocol::run(const Deployment& deployment,
 
   // Every alive, reachable node reports; the report is forwarded hop by
   // hop along the tree with no aggregation.
-  Channel channel = Channel::make(options_.link_loss, options_.link_retries,
-                                  options_.link_seed, options_.link_burst);
+  Channel channel =
+      Channel::make(options_.link_loss, options_.link_retries,
+                    options_.link_seed, options_.link_burst,
+                    options_.link_impair, options_.link_arq);
+  const bool impaired = channel.impaired();
   obs::PhaseTimer route_timer(obs::kPhaseReportRoute);
   std::vector<std::optional<double>> received(
       static_cast<std::size_t>(cols) * rows);
   std::vector<double> tx_per_node(static_cast<std::size_t>(n), 0.0);
+  double latency_sum = 0.0;
   for (const auto& node : deployment.nodes()) {
     if (!node.alive) continue;
     ++result.reports_generated;
     if (!tree.reachable(node.id)) continue;
     const auto path = tree.path_to_sink(node.id);
     bool delivered = true;
+    double path_latency = 0.0;
     for (std::size_t h = 0; h + 1 < path.size(); ++h) {
-      if (!channel.send(path[h], path[h + 1], options_.report_bytes,
-                        ledger)) {
+      const Channel::Transfer transfer =
+          channel.transfer(path[h], path[h + 1], options_.report_bytes,
+                           ledger);
+      if (!transfer.delivered) {
         delivered = false;
         break;
       }
+      path_latency += transfer.latency_s;
       ledger.compute(path[h + 1], options_.ops_per_forward);
       result.traffic_bytes += options_.report_bytes;
       tx_per_node[static_cast<std::size_t>(path[h])] += options_.report_bytes;
@@ -53,12 +62,26 @@ TinyDBResult TinyDBProtocol::run(const Deployment& deployment,
                                         tree.level(path[h])});
     }
     if (!delivered) continue;
+    if (impaired) {
+      if (result.reports_delivered == 0) {
+        result.e2e_first_latency_s = result.e2e_last_latency_s = path_latency;
+      } else {
+        result.e2e_first_latency_s =
+            std::min(result.e2e_first_latency_s, path_latency);
+        result.e2e_last_latency_s =
+            std::max(result.e2e_last_latency_s, path_latency);
+      }
+      latency_sum += path_latency;
+    }
     ++result.reports_delivered;
     const int r = node.id / cols;
     const int c = node.id % cols;
     received[static_cast<std::size_t>(r) * cols + c] =
         readings[static_cast<std::size_t>(node.id)];
   }
+  if (impaired && result.reports_delivered > 0)
+    result.e2e_mean_latency_s =
+        latency_sum / static_cast<double>(result.reports_delivered);
 
   // TDMA bottleneck: each tree level gets a slot sized to its busiest
   // forwarder.

@@ -31,6 +31,10 @@ struct TinyDBOptions {
   /// Bursty Gilbert–Elliott channel; replaces link_loss when set, so
   /// chaos comparisons against Iso-Map run over the identical link model.
   std::optional<GilbertElliottParams> link_burst;
+  /// Impairment pipeline + sliding-window ARQ (see net/impairment.hpp);
+  /// when set, per-report path latency is measured hop by hop.
+  std::optional<ImpairmentConfig> link_impair;
+  ArqConfig link_arq;
   /// Record every forwarding transmission for MAC-layer replay studies.
   bool record_transmissions = false;
 };
@@ -49,6 +53,14 @@ struct TinyDBResult {
   double latency_s(double kbps = 38.4) const {
     return bottleneck_bytes * 8.0 / (kbps * 1000.0);
   }
+
+  /// Measured end-to-end report latency over the impaired pipeline (sum
+  /// of per-hop ARQ completion times along each delivered report's path;
+  /// first/last/mean over delivered reports). 0.0 when link_impair is
+  /// unset.
+  double e2e_first_latency_s = 0.0;
+  double e2e_last_latency_s = 0.0;
+  double e2e_mean_latency_s = 0.0;
 
   /// Forwarding transmissions (when TinyDBOptions::record_transmissions).
   TransmissionLog transmissions;

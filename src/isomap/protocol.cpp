@@ -140,8 +140,17 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
   }
 
   const InNetworkFilter filter = InNetworkFilter::from_query(query);
-  Channel channel = Channel::make(options_.link_loss, options_.link_retries,
-                                  options_.link_seed, options_.link_burst);
+  Channel channel =
+      Channel::make(options_.link_loss, options_.link_retries,
+                    options_.link_seed, options_.link_burst,
+                    options_.link_impair, options_.link_arq);
+  // With the impairment pipeline active, accumulate each report's summed
+  // per-hop ARQ completion time (indexed by the report's causal id) so
+  // end-to-end latency is measured, not synthetic.
+  const bool impaired = channel.impaired();
+  std::vector<double> latency_by_id;
+  if (impaired)
+    latency_by_id.assign(static_cast<std::size_t>(generated), 0.0);
 
   // Mid-run fault machinery. With faults active the convergecast works on
   // a private copy of the routing tree so the repair can rewire it; the
@@ -267,17 +276,20 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
       const auto lvl = static_cast<std::size_t>(route.level(u));
       if (lvl >= level_bottleneck.size()) level_bottleneck.resize(lvl + 1, 0.0);
       level_bottleneck[lvl] = std::max(level_bottleneck[lvl], bytes);
-      const bool delivered = channel.send(u, p, bytes, ledger);
+      const Channel::Transfer transfer = channel.transfer(u, p, bytes, ledger);
       report_bytes += bytes;
       if (options_.record_transmissions)
         transmission_log.push_back({u, p, bytes, route.level(u)});
-      if (delivered) {
+      if (transfer.delivered) {
         // Advance each report one hop before handing the batch on, so the
         // copies the filter keeps in the parent's inbox already carry the
         // incremented hop count. Relay credit goes to the forwarding node
         // (not the source re-sending its own report at hop 1).
         for (auto& r : outgoing) {
           ++r.hops;
+          if (impaired)
+            latency_by_id[static_cast<std::size_t>(r.id)] +=
+                transfer.latency_s;
           if (tel != nullptr && r.source != u) tel->count_relayed(u);
           if (span_sink != nullptr) {
             obs::TraceEvent event;
@@ -288,6 +300,7 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
             event.report = r.id;
             event.hop = r.hops;
             event.isolevel = r.isolevel;
+            event.latency_s = impaired ? transfer.latency_s : -1.0;
             span_sink->emit(event);
           }
         }
@@ -362,6 +375,28 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
   result.measurement_traffic_bytes = measurement_bytes;
   result.dissemination_traffic_bytes = dissemination_bytes;
   for (double slot : level_bottleneck) result.bottleneck_bytes += slot;
+  if (impaired && !result.sink_reports.empty()) {
+    double first = 0.0, last = 0.0, sum = 0.0;
+    bool any = false;
+    for (const auto& r : result.sink_reports) {
+      const double lat = latency_by_id[static_cast<std::size_t>(r.id)];
+      if (!any) {
+        first = last = lat;
+        any = true;
+      } else {
+        first = std::min(first, lat);
+        last = std::max(last, lat);
+      }
+      sum += lat;
+    }
+    result.e2e_first_latency_s = first;
+    result.e2e_last_latency_s = last;
+    result.e2e_mean_latency_s =
+        sum / static_cast<double>(result.sink_reports.size());
+    obs::gauge("latency.e2e_first_s", result.e2e_first_latency_s);
+    obs::gauge("latency.e2e_last_s", result.e2e_last_latency_s);
+    obs::gauge("latency.e2e_mean_s", result.e2e_mean_latency_s);
+  }
   return result;
 }
 

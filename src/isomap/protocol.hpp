@@ -50,6 +50,16 @@ struct IsoMapOptions {
   /// link_seed still apply).
   std::optional<GilbertElliottParams> link_burst;
 
+  /// Link impairment pipeline (latency/jitter/dup/reorder/corrupt) with
+  /// sliding-window ARQ, layered on the loss model above. When unset the
+  /// channel is instantaneous and the run is bit-identical to the
+  /// pre-impairment behavior; when set each convergecast batch is framed
+  /// and delivered in virtual time, and IsoMapResult gains measured
+  /// end-to-end report latency. See net/impairment.hpp + net/arq.hpp and
+  /// docs/ROBUSTNESS.md.
+  std::optional<ImpairmentConfig> link_impair;
+  ArqConfig link_arq;
+
   /// Mid-run fault injection (node crashes, region blackouts) and the
   /// self-healing repair switch; inactive by default. See fault/fault.hpp
   /// and docs/ROBUSTNESS.md.
@@ -107,6 +117,16 @@ struct IsoMapResult {
   double latency_s(double kbps = 38.4) const {
     return bottleneck_bytes * 8.0 / (kbps * 1000.0);
   }
+
+  /// Measured end-to-end report latency over the impaired link pipeline:
+  /// per delivered report, the sum of per-hop ARQ virtual completion
+  /// times along its path. first/last are the fastest/slowest delivered
+  /// report; `e2e_last_latency_s` is when the sink's map input is
+  /// complete — the map latency. All exactly 0.0 when link_impair is
+  /// unset (delivery is instantaneous by assumption).
+  double e2e_first_latency_s = 0.0;
+  double e2e_last_latency_s = 0.0;
+  double e2e_mean_latency_s = 0.0;
 
   /// Convergecast transmissions (only when
   /// IsoMapOptions::record_transmissions is set).

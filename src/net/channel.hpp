@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <optional>
 
+#include "net/arq.hpp"
+#include "net/impairment.hpp"
 #include "net/ledger.hpp"
 #include "util/rng.hpp"
 
@@ -67,10 +69,34 @@ class Channel {
   static Channel make(double loss, int max_retries, std::uint64_t seed,
                       const std::optional<GilbertElliottParams>& burst);
 
+  /// As above, additionally layering the impairment pipeline + ARQ on top
+  /// of the loss chain when `impair` is set. `arq` validates on use.
+  static Channel make(double loss, int max_retries, std::uint64_t seed,
+                      const std::optional<GilbertElliottParams>& burst,
+                      const std::optional<ImpairmentConfig>& impair,
+                      const ArqConfig& arq = {});
+
   /// Deliver `bytes` one hop from `from` to `to`, charging the ledger per
   /// attempt. Returns false when every attempt was lost (the message is
-  /// dropped).
+  /// dropped). Ignores the impairment pipeline — the instantaneous
+  /// compatibility path; use transfer() to exercise impairments.
   bool send(int from, int to, double bytes, Ledger& ledger);
+
+  /// Outcome of one hop transfer: whether the batch arrived, and how much
+  /// virtual link time it took (0 on the unimpaired path, where delivery
+  /// is instantaneous by assumption).
+  struct Transfer {
+    bool delivered = true;
+    double latency_s = 0.0;
+  };
+
+  /// Deliver `bytes` one hop. Without an ImpairmentConfig this is exactly
+  /// send() — bit-for-bit, same Rng draws, same ledger charges — so
+  /// perfect and plain-lossy channels reproduce the pre-impairment
+  /// behavior. With one, the batch is framed and run through the
+  /// sliding-window ARQ engine over the impaired link (see net/arq.hpp),
+  /// reusing this channel's loss chain for per-frame losses.
+  Transfer transfer(int from, int to, double bytes, Ledger& ledger);
 
   bool bursty() const { return burst_.has_value(); }
   bool perfect() const { return !bursty() && loss_probability_ <= 0.0; }
@@ -82,14 +108,29 @@ class Channel {
   /// Currently in the Gilbert–Elliott burst state (always false i.i.d.).
   bool in_burst() const { return in_burst_; }
 
+  /// Impairment pipeline active (transfer() runs the ARQ engine).
+  bool impaired() const { return impair_.has_value(); }
+  const std::optional<ImpairmentConfig>& impairment() const {
+    return impair_;
+  }
+  const ArqConfig& arq() const { return arq_; }
+
   /// Cumulative statistics since construction.
   long long attempts() const { return attempts_; }
   long long retries() const { return retries_; }
   long long drops() const { return drops_; }
-  /// Expected per-hop delivery probability for these parameters. Exact in
-  /// the i.i.d. modes; for the bursty mode an approximation that plugs
-  /// the stationary mean loss into the i.i.d. formula (it ignores the
-  /// within-batch correlation that makes real bursty retries weaker).
+  long long dup_rx() const { return dup_rx_; }
+  long long corrupt_rx() const { return corrupt_rx_; }
+  long long arq_timeouts() const { return arq_timeouts_; }
+  long long acks() const { return acks_; }
+  /// Expected probability that a send() delivers within max_retries + 1
+  /// attempts. Exact in every mode: i.i.d. is the closed form
+  /// 1 - loss^(max_retries+1); bursty runs the Gilbert–Elliott chain
+  /// forward from the channel's *current* state, tracking the joint
+  /// distribution of (all attempts lost so far, chain state) — this
+  /// captures the within-batch correlation that makes retries during a
+  /// burst nearly useless, which the old stationary-mean approximation
+  /// ignored.
   double delivery_probability() const;
 
  private:
@@ -99,10 +140,16 @@ class Channel {
   int max_retries_ = 0;
   std::optional<GilbertElliottParams> burst_;
   bool in_burst_ = false;
+  std::optional<ImpairmentConfig> impair_;
+  ArqConfig arq_;
   Rng rng_;
   long long attempts_ = 0;
   long long retries_ = 0;
   long long drops_ = 0;
+  long long dup_rx_ = 0;
+  long long corrupt_rx_ = 0;
+  long long arq_timeouts_ = 0;
+  long long acks_ = 0;
 };
 
 }  // namespace isomap

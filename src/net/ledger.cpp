@@ -93,6 +93,21 @@ void Ledger::transmit_lost(int from, double bytes) {
   }
 }
 
+void Ledger::receive(int to, double bytes) {
+  check_node(to, "receive");
+  check_amount(bytes, "receive");
+  rx_bytes_[static_cast<std::size_t>(to)] += bytes;
+  if (obs::NodeTelemetry* t = obs::telemetry())
+    t->charge_rx(to, bytes, obs::current_phase());
+  if (obs::TraceSink* sink = obs::trace()) {
+    obs::TraceEvent event;
+    event.phase = obs::current_phase();
+    event.node = to;
+    event.rx_bytes = bytes;
+    sink->emit(event);
+  }
+}
+
 double Ledger::broadcast_all(const CommGraph& graph, double bytes) {
   if (graph.size() != size())
     throw std::invalid_argument("Ledger::broadcast_all: graph size mismatch");

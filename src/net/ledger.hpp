@@ -35,6 +35,14 @@ class Ledger {
   /// airtime, nobody receives anything.
   void transmit_lost(int from, double bytes);
 
+  /// Reception of `bytes` at node `to` whose transmission was charged
+  /// separately. Used by the impaired link pipeline, where delivery is
+  /// time-shifted: the sender's airtime is charged at send time (via
+  /// transmit_lost — the frame may still be lost, duplicated or
+  /// corrupted in flight) and each frame copy that actually reaches the
+  /// receiver is charged here at arrival time.
+  void receive(int to, double bytes);
+
   /// Charge `ops` arithmetic operations to node `node`.
   void compute(int node, double ops);
 

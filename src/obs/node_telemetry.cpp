@@ -53,6 +53,9 @@ JsonValue NodeTelemetrySnapshot::to_json() const {
   per_node["relayed"] = array_of(relayed);
   per_node["retries"] = array_of(retries);
   per_node["drops"] = array_of(drops);
+  per_node["dup_rx"] = array_of(dup_rx);
+  per_node["corrupt_rx"] = array_of(corrupt_rx);
+  per_node["arq_timeouts"] = array_of(arq_timeouts);
   JsonValue& lanes = v["per_phase"];
   lanes = JsonValue::object();
   for (const PhaseLane& lane : phases) {
@@ -96,6 +99,9 @@ NodeTelemetry::NodeTelemetry(int num_nodes) {
   relayed_.assign(n, 0);
   retries_.assign(n, 0);
   drops_.assign(n, 0);
+  dup_rx_.assign(n, 0);
+  corrupt_rx_.assign(n, 0);
+  arq_timeouts_.assign(n, 0);
 }
 
 NodeTelemetry::Lane& NodeTelemetry::lane_slow(const char* phase) {
@@ -173,6 +179,9 @@ NodeTelemetrySnapshot NodeTelemetry::snapshot() const {
   s.relayed = relayed_;
   s.retries = retries_;
   s.drops = drops_;
+  s.dup_rx = dup_rx_;
+  s.corrupt_rx = corrupt_rx_;
+  s.arq_timeouts = arq_timeouts_;
   s.energy = energy;
   s.phases.reserve(lanes_.size());
   for (const auto& l : lanes_)

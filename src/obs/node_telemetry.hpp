@@ -42,6 +42,11 @@ struct NodeTelemetrySnapshot {
   std::vector<long long> relayed;
   std::vector<long long> retries;
   std::vector<long long> drops;
+  // Impaired-link lanes (empty in snapshots decoded from pre-impairment
+  // capsules; all-zero when the run used a plain channel).
+  std::vector<long long> dup_rx;
+  std::vector<long long> corrupt_rx;
+  std::vector<long long> arq_timeouts;
 
   struct PhaseLane {
     std::string phase;
@@ -103,6 +108,13 @@ class NodeTelemetry {
   }
   void add_retry(int node) { ++retries_[static_cast<std::size_t>(node)]; }
   void add_drop(int node) { ++drops_[static_cast<std::size_t>(node)]; }
+  void add_dup_rx(int node) { ++dup_rx_[static_cast<std::size_t>(node)]; }
+  void add_corrupt_rx(int node) {
+    ++corrupt_rx_[static_cast<std::size_t>(node)];
+  }
+  void add_arq_timeout(int node) {
+    ++arq_timeouts_[static_cast<std::size_t>(node)];
+  }
   void count_generated(int node) {
     ++generated_[static_cast<std::size_t>(node)];
   }
@@ -158,6 +170,15 @@ class NodeTelemetry {
   long long drops(int node) const {
     return drops_[static_cast<std::size_t>(node)];
   }
+  long long dup_rx(int node) const {
+    return dup_rx_[static_cast<std::size_t>(node)];
+  }
+  long long corrupt_rx(int node) const {
+    return corrupt_rx_[static_cast<std::size_t>(node)];
+  }
+  long long arq_timeouts(int node) const {
+    return arq_timeouts_[static_cast<std::size_t>(node)];
+  }
 
   /// Per-phase tx/rx lane for `phase` (nullptr when that phase never
   /// charged anything).
@@ -210,6 +231,9 @@ class NodeTelemetry {
   std::vector<long long> relayed_;
   std::vector<long long> retries_;
   std::vector<long long> drops_;
+  std::vector<long long> dup_rx_;
+  std::vector<long long> corrupt_rx_;
+  std::vector<long long> arq_timeouts_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   Lane* cached_ = nullptr;
 };

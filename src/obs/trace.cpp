@@ -54,6 +54,10 @@ void TraceSink::emit(const TraceEvent& event) {
     line_ += ",\"wall_s\":";
     line_ += json_number(event.wall_s);
   }
+  if (event.latency_s >= 0.0) {
+    line_ += ",\"latency_s\":";
+    line_ += json_number(event.latency_s);
+  }
   line_ += "}\n";
   out_->write(line_.data(), static_cast<std::streamsize>(line_.size()));
   ++events_;

@@ -41,6 +41,8 @@ struct TraceEvent {
   double rx_bytes = 0.0;
   double ops = 0.0;
   double wall_s = -1.0;  ///< Wall time in seconds; < 0 = not measured.
+  double latency_s = -1.0;  ///< Virtual link latency of a span's hop over
+                            ///< the impaired pipeline; < 0 = not measured.
 
   static constexpr double kNoLevel = -1e300;
 };

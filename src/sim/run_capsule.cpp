@@ -1,5 +1,6 @@
 #include "sim/run_capsule.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <sstream>
 #include <utility>
@@ -25,6 +26,7 @@ enum Tag : std::uint64_t {
   kRoundOutputsTag = 9,
   kFinalMapTag = 10,
   kTelemetryTag = 11,
+  kLinkImpairTag = 12,
 };
 
 /// Decode-time sanity caps: far above any real run, low enough that a
@@ -199,6 +201,9 @@ SingleShotOutputs execute_single_shot(
   out.measurement_traffic_bytes = result.measurement_traffic_bytes;
   out.dissemination_traffic_bytes = result.dissemination_traffic_bytes;
   out.bottleneck_bytes = result.bottleneck_bytes;
+  out.e2e_first_latency_s = result.e2e_first_latency_s;
+  out.e2e_last_latency_s = result.e2e_last_latency_s;
+  out.e2e_mean_latency_s = result.e2e_mean_latency_s;
   out.sink_reports = result.sink_reports;
   out.contours = extract_contours(result.map);
   out.ledger = ledger_totals(ledger);
@@ -275,7 +280,13 @@ std::string encode_telemetry(const obs::NodeTelemetrySnapshot& t) {
   w.put_f64(t.energy.j_per_op);
   // Per-phase lanes stay out of the capsule on purpose: they are derived
   // observability detail, and omitting them keeps the section a fixed
-  // 12-array schema.
+  // 12-array schema. The link-impairment counters ride *after* the
+  // energy triple so pre-impairment readers (which stop at the triple)
+  // never see them, and pre-impairment capsules decode with the guarded
+  // tail below.
+  for (long long v : t.dup_rx) w.put_i64(v);
+  for (long long v : t.corrupt_rx) w.put_i64(v);
+  for (long long v : t.arq_timeouts) w.put_i64(v);
   return w.take();
 }
 
@@ -308,6 +319,18 @@ void decode_telemetry(Reader r, obs::NodeTelemetrySnapshot& t) {
   t.energy.tx_j_per_byte = r.get_f64();
   t.energy.rx_j_per_byte = r.get_f64();
   t.energy.j_per_op = r.get_f64();
+  // Impairment counters: absent in pre-impairment capsules, where the
+  // vectors stay empty. diff_telemetry treats an empty array as n zeros,
+  // so such capsules still compare clean against fresh replays (which
+  // always fill the arrays — with zeros on an unimpaired run).
+  if (!r.done()) {
+    t.dup_rx.resize(n);
+    t.corrupt_rx.resize(n);
+    t.arq_timeouts.resize(n);
+    for (long long& v : t.dup_rx) v = r.get_i64();
+    for (long long& v : t.corrupt_rx) v = r.get_i64();
+    for (long long& v : t.arq_timeouts) v = r.get_i64();
+  }
   expect_done(r, "telemetry");
 }
 
@@ -456,6 +479,45 @@ void decode_options(Reader r, IsoMapOptions& o) {
   expect_done(r, "options");
 }
 
+/// Link impairment + ARQ configuration (tag 12, optional — present only
+/// when options.link_impair is set, so pre-impairment capsules and
+/// unimpaired runs carry byte-identical sections).
+std::string encode_link_impair(const ImpairmentConfig& impair,
+                               const ArqConfig& arq) {
+  Writer w;
+  w.put_f64(impair.latency_s);
+  w.put_f64(impair.jitter_s);
+  w.put_f64(impair.dup_prob);
+  w.put_f64(impair.reorder_prob);
+  w.put_f64(impair.reorder_extra_s);
+  w.put_f64(impair.corrupt_prob);
+  w.put_i64(arq.window);
+  w.put_f64(arq.frame_payload_bytes);
+  w.put_f64(arq.timeout_s);
+  w.put_f64(arq.backoff_factor);
+  w.put_f64(arq.max_timeout_s);
+  w.put_i64(arq.max_frame_attempts);
+  return w.take();
+}
+
+void decode_link_impair(Reader r, IsoMapOptions& o) {
+  ImpairmentConfig impair;
+  impair.latency_s = r.get_f64();
+  impair.jitter_s = r.get_f64();
+  impair.dup_prob = r.get_f64();
+  impair.reorder_prob = r.get_f64();
+  impair.reorder_extra_s = r.get_f64();
+  impair.corrupt_prob = r.get_f64();
+  o.link_arq.window = static_cast<int>(r.get_i64());
+  o.link_arq.frame_payload_bytes = r.get_f64();
+  o.link_arq.timeout_s = r.get_f64();
+  o.link_arq.backoff_factor = r.get_f64();
+  o.link_arq.max_timeout_s = r.get_f64();
+  o.link_arq.max_frame_attempts = static_cast<int>(r.get_i64());
+  o.link_impair = impair;
+  expect_done(r, "link_impair");
+}
+
 std::string encode_continuous(const ContinuousOptions& o) {
   Writer w;
   w.put_f64(o.gradient_refresh_deg);
@@ -590,6 +652,13 @@ std::string encode_single_outputs(const SingleShotOutputs& o) {
   put_contours(w, o.contours);
   put_ledger(w, o.ledger);
   w.put_string(o.summary_json);
+  // Impairment latency tail: appended after every original field so
+  // pre-impairment readers stop cleanly before it, and pre-impairment
+  // capsules decode with the guarded tail below (fields default to 0.0,
+  // matching an unimpaired fresh replay bit for bit).
+  w.put_f64(o.e2e_first_latency_s);
+  w.put_f64(o.e2e_last_latency_s);
+  w.put_f64(o.e2e_mean_latency_s);
   return w.take();
 }
 
@@ -612,6 +681,11 @@ void decode_single_outputs(Reader r, SingleShotOutputs& o) {
   o.contours = get_contours(r);
   o.ledger = get_ledger(r);
   o.summary_json = r.get_string();
+  if (!r.done()) {
+    o.e2e_first_latency_s = r.get_f64();
+    o.e2e_last_latency_s = r.get_f64();
+    o.e2e_mean_latency_s = r.get_f64();
+  }
   expect_done(r, "single_outputs");
 }
 
@@ -794,6 +868,21 @@ void diff_telemetry(DiffFinder& d, const obs::NodeTelemetrySnapshot& stored,
   per_i64("relayed", stored.relayed, fresh.relayed);
   per_i64("retries", stored.retries, fresh.retries);
   per_i64("drops", stored.drops, fresh.drops);
+  // Impairment counters: a capsule recorded before they existed decodes
+  // them empty, which compares equal to the all-zero arrays an
+  // unimpaired fresh replay produces (empty reads as n zeros).
+  const auto per_i64_or_zero = [&](const char* field,
+                                   const std::vector<long long>& s,
+                                   const std::vector<long long>& f) {
+    const std::size_t n = std::max(s.size(), f.size());
+    for (std::size_t i = 0; i < n && !d.done(); ++i)
+      d.eq_i("telemetry." + std::string(field) + "[" + std::to_string(i) +
+                 "]",
+             i < s.size() ? s[i] : 0, i < f.size() ? f[i] : 0);
+  };
+  per_i64_or_zero("dup_rx", stored.dup_rx, fresh.dup_rx);
+  per_i64_or_zero("corrupt_rx", stored.corrupt_rx, fresh.corrupt_rx);
+  per_i64_or_zero("arq_timeouts", stored.arq_timeouts, fresh.arq_timeouts);
 }
 
 void diff_ledger(DiffFinder& d, const std::string& where,
@@ -929,6 +1018,12 @@ std::optional<OutputDiff> diff_outputs(const RunCapsule& stored,
            s.dissemination_traffic_bytes, f.dissemination_traffic_bytes);
     d.eq_f("single.bottleneck_bytes", s.bottleneck_bytes,
            f.bottleneck_bytes);
+    d.eq_f("single.e2e_first_latency_s", s.e2e_first_latency_s,
+           f.e2e_first_latency_s);
+    d.eq_f("single.e2e_last_latency_s", s.e2e_last_latency_s,
+           f.e2e_last_latency_s);
+    d.eq_f("single.e2e_mean_latency_s", s.e2e_mean_latency_s,
+           f.e2e_mean_latency_s);
     diff_reports(d, "single.sink_reports", s.sink_reports, f.sink_reports);
     diff_contours(d, "single.contours", s.contours, f.contours);
     diff_ledger(d, "single.ledger", s.ledger, f.ledger);
@@ -1016,6 +1111,9 @@ Capsule to_capsule(const RunCapsule& run) {
   c.add(kMetaTag, encode_meta(run));
   c.add(kConfigTag, encode_config(run.config));
   c.add(kOptionsTag, encode_options(run.options));
+  if (run.options.link_impair)
+    c.add(kLinkImpairTag,
+          encode_link_impair(*run.options.link_impair, run.options.link_arq));
   if (run.kind == RunKind::kContinuous)
     c.add(kContinuousTag, encode_continuous(run.continuous));
   c.add(kDeploymentTag, encode_deployment(run));
@@ -1038,6 +1136,8 @@ RunCapsule from_capsule(const Capsule& c) {
                 run.config);
   decode_options(Reader(require(c, kOptionsTag, "options").payload),
                  run.options);
+  if (const Section* s = c.find(kLinkImpairTag))
+    decode_link_impair(Reader(s->payload), run.options);
   if (run.kind == RunKind::kContinuous) {
     decode_continuous(
         Reader(require(c, kContinuousTag, "continuous").payload),

@@ -31,7 +31,13 @@ namespace isomap::capsule {
 /// Bump when the run-level section schema changes incompatibly (fields
 /// reordered/removed, semantics changed). Adding a new *section* does not
 /// require a bump — unknown sections are skipped by older readers.
-inline constexpr std::uint64_t kRunSchemaVersion = 1;
+///
+/// v2: telemetry gained trailing dup_rx/corrupt_rx/arq_timeouts arrays
+/// and single_outputs trailing e2e_*_latency_s fields (schema-1 files
+/// still decode — the tails are guard-checked — but schema-1 readers
+/// would choke on v2 files, hence the bump); optional link-impairment
+/// section (tag 12).
+inline constexpr std::uint64_t kRunSchemaVersion = 2;
 
 enum class RunKind : int {
   kSingleShot = 0,  ///< One IsoMapProtocol::run (rounds holds 1 entry).
@@ -79,6 +85,12 @@ struct SingleShotOutputs {
   double measurement_traffic_bytes = 0.0;
   double dissemination_traffic_bytes = 0.0;
   double bottleneck_bytes = 0.0;
+  /// Measured end-to-end latency over the impaired link pipeline (all
+  /// exactly 0.0 for unimpaired runs — and for capsules recorded before
+  /// the fields existed, which decode to the same zeros).
+  double e2e_first_latency_s = 0.0;
+  double e2e_last_latency_s = 0.0;
+  double e2e_mean_latency_s = 0.0;
   std::vector<IsolineReport> sink_reports;
   std::vector<LevelContour> contours;
   obs::LedgerTotals ledger;

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "net/arq.hpp"
+#include "net/channel.hpp"
+#include "obs/node_telemetry.hpp"
+#include "obs/obs.hpp"
+#include "util/rng.hpp"
+
+namespace isomap {
+namespace {
+
+TEST(ArqConfig, ValidatesRanges) {
+  ArqConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+
+  ArqConfig bad = ok;
+  bad.window = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.frame_payload_bytes = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.timeout_s = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.backoff_factor = 0.9;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.max_timeout_s = bad.timeout_s / 2;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.max_frame_attempts = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+}
+
+TEST(ArqFrame, EncodeDecodeRoundTrip) {
+  for (const std::size_t len : {0u, 1u, 7u, 32u, 200u}) {
+    ArqFrame frame;
+    frame.kind = FrameKind::kData;
+    frame.seq = 0xDEADBEEFu;
+    frame.payload.assign(len, '\x5A');
+    const std::string wire = encode_frame(frame);
+    EXPECT_EQ(wire.size(), 9 + len + 4);
+    const DecodedFrame decoded = decode_frame(wire);
+    ASSERT_EQ(decoded.status, FrameStatus::kOk);
+    EXPECT_EQ(decoded.frame.kind, frame.kind);
+    EXPECT_EQ(decoded.frame.seq, frame.seq);
+    EXPECT_EQ(decoded.frame.payload, frame.payload);
+  }
+  ArqFrame ack;
+  ack.kind = FrameKind::kAck;
+  ack.seq = 17;
+  const DecodedFrame decoded = decode_frame(encode_frame(ack));
+  ASSERT_EQ(decoded.status, FrameStatus::kOk);
+  EXPECT_EQ(decoded.frame.kind, FrameKind::kAck);
+  EXPECT_EQ(decoded.frame.seq, 17u);
+}
+
+TEST(ArqFrame, DecodeRejectsTruncationAndPadding) {
+  ArqFrame frame;
+  frame.seq = 3;
+  frame.payload = "hello arq";
+  const std::string wire = encode_frame(frame);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut)
+    EXPECT_NE(decode_frame(wire.substr(0, cut)).status, FrameStatus::kOk);
+  EXPECT_NE(decode_frame(wire + '\0').status, FrameStatus::kOk);
+  EXPECT_NE(decode_frame(std::string()).status, FrameStatus::kOk);
+}
+
+TEST(ArqFrame, EverySingleByteFlipIsDetected) {
+  // Satellite: corrupt-frame fuzz. The CRC covers kind/seq/len/payload,
+  // and a flip inside the CRC itself breaks the comparison — so no
+  // single-byte corruption may ever decode as kOk.
+  ArqFrame frame;
+  frame.seq = 42;
+  frame.payload = "payload under test";
+  const std::string wire = encode_frame(frame);
+  for (std::size_t pos = 0; pos < wire.size(); ++pos) {
+    for (const unsigned char mask : {0x01u, 0x10u, 0x80u, 0xFFu}) {
+      std::string damaged = wire;
+      damaged[pos] = static_cast<char>(
+          static_cast<unsigned char>(damaged[pos]) ^ mask);
+      EXPECT_NE(decode_frame(damaged).status, FrameStatus::kOk)
+          << "undetected flip at byte " << pos;
+    }
+  }
+}
+
+TEST(ArqFrame, RandomFuzzNeverCrashes) {
+  Rng rng(0xF022);
+  for (int i = 0; i < 20000; ++i) {
+    std::string bytes(rng.uniform_int(64), '\0');
+    for (char& b : bytes)
+      b = static_cast<char>(rng.uniform_int(256));
+    (void)decode_frame(bytes);  // Must not crash or throw.
+  }
+  // Double-flip mutations confined to 4 consecutive bytes: a <= 32-bit
+  // error burst, which CRC-32 is guaranteed to detect (arbitrary distant
+  // flips would only be caught with probability 1 - 2^-32).
+  ArqFrame frame;
+  frame.seq = 7;
+  frame.payload.assign(24, '\x33');
+  const std::string wire = encode_frame(frame);
+  for (int i = 0; i < 5000; ++i) {
+    std::string damaged = wire;
+    const std::size_t a = rng.uniform_int(damaged.size() - 3);
+    const std::size_t b = a + 1 + rng.uniform_int(3);
+    damaged[a] = static_cast<char>(
+        static_cast<unsigned char>(damaged[a]) ^ 0x41u);
+    damaged[b] = static_cast<char>(
+        static_cast<unsigned char>(damaged[b]) ^ 0x0Bu);
+    EXPECT_NE(decode_frame(damaged).status, FrameStatus::kOk);
+  }
+}
+
+// --- Transfer engine ----------------------------------------------------
+
+ArqTransferStats run(double bytes, const ImpairmentConfig& impair,
+                     const ArqConfig& arq, double loss_prob,
+                     std::uint64_t seed, Ledger& ledger) {
+  Rng rng(seed);
+  Rng loss_rng(seed ^ 0x9E3779B97F4A7C15ULL);
+  return run_arq_transfer(
+      0, 1, bytes, impair, arq, rng,
+      [&] { return loss_rng.bernoulli(loss_prob); }, ledger);
+}
+
+TEST(ArqTransfer, LossyLinkRetransmitsAndDelivers) {
+  ImpairmentConfig impair;
+  ArqConfig arq;
+  // A lost ACK also burns one of the base frame's attempts (the timeout
+  // retransmits it), so give the budget real headroom over the loss rate.
+  arq.max_frame_attempts = 16;
+  long long retransmissions = 0;
+  for (int i = 0; i < 20; ++i) {
+    Ledger ledger(2);
+    const ArqTransferStats stats =
+        run(500.0, impair, arq, 0.25, 4000 + i, ledger);
+    EXPECT_TRUE(stats.delivered);
+    EXPECT_EQ(stats.frames,
+              static_cast<long long>(
+                  std::ceil(500.0 / arq.frame_payload_bytes)));
+    EXPECT_GE(stats.data_tx, stats.frames);
+    retransmissions += stats.retransmissions;
+  }
+  EXPECT_GT(retransmissions, 0);
+}
+
+TEST(ArqTransfer, DeadLinkGivesUpAfterMaxAttempts) {
+  ImpairmentConfig impair;
+  ArqConfig arq;
+  arq.window = 4;
+  arq.max_frame_attempts = 5;
+  Ledger ledger(2);
+  Rng rng(1);
+  const ArqTransferStats stats = run_arq_transfer(
+      0, 1, 300.0, impair, arq, rng, [] { return true; }, ledger);
+  EXPECT_FALSE(stats.delivered);
+  // The base frame is tried once up-front and once per timeout until its
+  // budget runs out; the final timeout discovers the exhausted budget.
+  EXPECT_EQ(stats.timeouts, arq.max_frame_attempts);
+  EXPECT_EQ(stats.data_tx,
+            arq.window + (arq.max_frame_attempts - 1));
+  EXPECT_GT(stats.latency_s, 0.0);
+  // All airtime was spent, nothing was ever received.
+  EXPECT_GT(ledger.tx_bytes(0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.rx_bytes(1), 0.0);
+}
+
+TEST(ArqTransfer, FullCorruptionNeverMisdelivers) {
+  ImpairmentConfig impair;
+  impair.corrupt_prob = 1.0;
+  ArqConfig arq;
+  arq.max_frame_attempts = 4;
+  for (int i = 0; i < 10; ++i) {
+    Ledger ledger(2);
+    const ArqTransferStats stats =
+        run(200.0, impair, arq, 0.0, 8800 + i, ledger);
+    EXPECT_FALSE(stats.delivered);
+    EXPECT_GT(stats.corrupt_rx, 0);
+    // Corrupt copies are still paid for by the receiver.
+    EXPECT_GT(ledger.rx_bytes(1), 0.0);
+  }
+}
+
+TEST(ArqTransfer, ExponentialBackoffGrowsTheTimeout) {
+  // On a dead link, successive timer expiries are spaced by
+  // timeout * backoff^k (capped): total dead time grows faster than
+  // linear in the timeout count.
+  ImpairmentConfig impair;
+  ArqConfig arq;
+  arq.window = 1;
+  arq.max_frame_attempts = 5;
+  arq.timeout_s = 0.01;
+  arq.backoff_factor = 2.0;
+  arq.max_timeout_s = 10.0;
+  Ledger ledger(2);
+  Rng rng(2);
+  const ArqTransferStats stats = run_arq_transfer(
+      0, 1, 10.0, impair, arq, rng, [] { return true; }, ledger);
+  EXPECT_FALSE(stats.delivered);
+  // Expiries at 0.01, +0.02, +0.04, +0.08, +0.16 = 0.31 total.
+  EXPECT_NEAR(stats.latency_s, 0.31, 1e-9);
+}
+
+TEST(ArqTransfer, DeterministicForSeed) {
+  ImpairmentConfig impair;
+  impair.jitter_s = 0.01;
+  impair.dup_prob = 0.3;
+  impair.reorder_prob = 0.3;
+  impair.corrupt_prob = 0.1;
+  ArqConfig arq;
+  for (int i = 0; i < 5; ++i) {
+    Ledger la(2), lb(2);
+    const ArqTransferStats a = run(400.0, impair, arq, 0.2, 300 + i, la);
+    const ArqTransferStats b = run(400.0, impair, arq, 0.2, 300 + i, lb);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.latency_s, b.latency_s);
+    EXPECT_EQ(a.data_tx, b.data_tx);
+    EXPECT_EQ(a.acks_tx, b.acks_tx);
+    EXPECT_EQ(a.dup_rx, b.dup_rx);
+    EXPECT_EQ(a.corrupt_rx, b.corrupt_rx);
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(la.tx_bytes(0), lb.tx_bytes(0));
+    EXPECT_EQ(la.rx_bytes(1), lb.rx_bytes(1));
+  }
+}
+
+TEST(ArqTransfer, LedgerAndTelemetryReconcileBitwise) {
+  // The acceptance contract: every joule the ARQ charges to the Ledger
+  // lands in the matching NodeTelemetry lane bit for bit — tx airtime
+  // (first tries, retransmissions and ACKs alike) on the sender of each
+  // frame, rx on its receiver.
+  obs::MetricsRegistry metrics;
+  obs::NodeTelemetry telemetry(2);
+  Ledger ledger(2);
+  ImpairmentConfig impair;
+  impair.jitter_s = 0.005;
+  impair.dup_prob = 0.2;
+  impair.corrupt_prob = 0.1;
+  ArqConfig arq;
+  ArqTransferStats stats;
+  {
+    const obs::ObsScope scope(&metrics, nullptr, &telemetry);
+    stats = run(1000.0, impair, arq, 0.2, 77, ledger);
+  }
+  const obs::NodeTelemetrySnapshot snap = telemetry.snapshot();
+  EXPECT_EQ(snap.tx_bytes[0], ledger.tx_bytes(0));
+  EXPECT_EQ(snap.tx_bytes[1], ledger.tx_bytes(1));
+  EXPECT_EQ(snap.rx_bytes[0], ledger.rx_bytes(0));
+  EXPECT_EQ(snap.rx_bytes[1], ledger.rx_bytes(1));
+  EXPECT_GT(ledger.tx_bytes(1), 0.0);  // ACK airtime.
+  EXPECT_EQ(snap.retries[0], stats.retransmissions);
+  EXPECT_EQ(snap.dup_rx[1], stats.dup_rx);
+  EXPECT_EQ(snap.arq_timeouts[0], stats.timeouts);
+  EXPECT_EQ(snap.corrupt_rx[0] + snap.corrupt_rx[1], stats.corrupt_rx);
+  EXPECT_EQ(static_cast<long long>(metrics.counter("channel.acks")),
+            stats.acks_tx);
+}
+
+}  // namespace
+}  // namespace isomap

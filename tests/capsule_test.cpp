@@ -336,6 +336,68 @@ TEST(RunCapsuleTest, TelemetrySectionRoundTripsBitwise) {
   EXPECT_FALSE(diff.has_value()) << diff->where << ": " << diff->detail;
 }
 
+RunCapsule impaired_single_shot() {
+  ScenarioConfig config;
+  config.num_nodes = 64;
+  config.field_side = 8.0;
+  config.seed = 13;
+  const Scenario scenario = make_scenario(config);
+  IsoMapOptions options = isomap_options(scenario, 3);
+  options.link_burst = GilbertElliottParams{};
+  ImpairmentConfig impair;
+  impair.jitter_s = 0.006;
+  impair.dup_prob = 0.2;
+  impair.reorder_prob = 0.1;
+  impair.corrupt_prob = 0.08;
+  options.link_impair = impair;
+  options.link_arq.window = 4;
+  options.link_arq.frame_payload_bytes = 24.0;
+  options.link_arq.max_frame_attempts = 5;
+  return record_single_shot(scenario, options,
+                            "test: impaired single shot");
+}
+
+TEST(RunCapsuleTest, LinkImpairSectionRoundTripsAndReplays) {
+  const RunCapsule run = impaired_single_shot();
+  // The impairment section (tag 12) is present exactly when the recorded
+  // run was impaired; unimpaired capsules stay byte-compatible.
+  EXPECT_NE(to_capsule(run).find(12), nullptr);
+  EXPECT_EQ(to_capsule(small_single_shot()).find(12), nullptr);
+
+  const RunCapsule back =
+      from_capsule(Capsule::decode(to_capsule(run).encode()));
+  ASSERT_TRUE(back.options.link_impair.has_value());
+  EXPECT_EQ(back.options.link_impair->jitter_s, 0.006);
+  EXPECT_EQ(back.options.link_impair->dup_prob, 0.2);
+  EXPECT_EQ(back.options.link_impair->corrupt_prob, 0.08);
+  EXPECT_EQ(back.options.link_arq.window, 4);
+  EXPECT_EQ(back.options.link_arq.frame_payload_bytes, 24.0);
+  EXPECT_EQ(back.options.link_arq.max_frame_attempts, 5);
+  // Measured end-to-end latency survives the wire bit for bit.
+  EXPECT_GT(run.single.e2e_last_latency_s, 0.0);
+  EXPECT_EQ(back.single.e2e_first_latency_s, run.single.e2e_first_latency_s);
+  EXPECT_EQ(back.single.e2e_last_latency_s, run.single.e2e_last_latency_s);
+  EXPECT_EQ(back.single.e2e_mean_latency_s, run.single.e2e_mean_latency_s);
+  // Replaying the decoded capsule reproduces every output — including
+  // the latency fields and the impairment telemetry counters.
+  const RunCapsule fresh = replay(back);
+  const auto diff = diff_outputs(back, fresh);
+  EXPECT_FALSE(diff.has_value()) << diff->where << ": " << diff->detail;
+  ASSERT_TRUE(back.telemetry.has_value());
+  long long dup_rx = 0;
+  for (const long long v : back.telemetry->dup_rx) dup_rx += v;
+  EXPECT_GT(dup_rx, 0);
+}
+
+TEST(RunCapsuleTest, ImpairedDiffCatchesLatencyPerturbation) {
+  const RunCapsule run = impaired_single_shot();
+  RunCapsule bent = run;
+  bent.single.e2e_mean_latency_s += 1e-9;
+  const auto diff = diff_outputs(run, bent);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_EQ(diff->where, "single.e2e_mean_latency_s");
+}
+
 // ---------------------------------------------------------------------------
 // Fuzz-ish decoder robustness. Run under ASan/UBSan in CI.
 
@@ -385,7 +447,8 @@ TEST(CapsuleFuzz, CorruptCountsCannotBalloonAllocations) {
 TEST(GoldenCorpus, AllGoldensReplayBitIdentically) {
   const std::string dir = ISOMAP_GOLDEN_DIR;
   const char* names[] = {"single_small", "continuous_drift",
-                         "chaos_crash_burst", "band_edge_ulp"};
+                         "chaos_crash_burst", "band_edge_ulp",
+                         "impaired_arq"};
   for (const char* name : names) {
     SCOPED_TRACE(name);
     const RunCapsule stored = load(dir + "/" + name + ".capsule");

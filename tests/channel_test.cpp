@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <map>
+#include <utility>
+
 #include "net/channel.hpp"
 #include "obs/obs.hpp"
 
@@ -195,6 +199,77 @@ TEST(Channel, RetryAndDropCountersReachTheRegistry) {
   for (int i = 0; i < 100; ++i) bare.send(0, 1, 1.0, ledger);
   EXPECT_GT(bare.drops(), 0);
   EXPECT_DOUBLE_EQ(metrics.counter("channel.drops"), drops_before);
+}
+
+// --- Exact Gilbert–Elliott delivery probability ------------------------
+
+TEST(GilbertElliott, UniformLossReducesToIidFormula) {
+  // When both chain states lose with the same probability, the transition
+  // probabilities are irrelevant and the exact computation must collapse
+  // to the iid closed form 1 - p^(retries+1).
+  GilbertElliottParams burst;
+  burst.p_enter_burst = 0.2;
+  burst.p_exit_burst = 0.4;
+  burst.loss_good = 0.3;
+  burst.loss_bad = 0.3;
+  const Channel channel = Channel::make(0.0, 2, 11, burst);
+  EXPECT_NEAR(channel.delivery_probability(), 1.0 - 0.3 * 0.3 * 0.3, 1e-12);
+}
+
+TEST(GilbertElliott, ExactDeliveryProbabilityMatchesMonteCarlo) {
+  // A fresh channel starts in the good state; the chain recursion must
+  // match the empirical first-batch delivery rate across many channels.
+  GilbertElliottParams burst;
+  burst.p_enter_burst = 0.25;
+  burst.p_exit_burst = 0.35;
+  burst.loss_good = 0.05;
+  burst.loss_bad = 0.8;
+  const double predicted =
+      Channel::make(0.0, 2, 1, burst).delivery_probability();
+  // Sanity: the old approximation (iid at the stationary loss rate) is
+  // measurably different for these parameters, so this test would catch
+  // a regression to it.
+  const double pi_bad =
+      burst.p_enter_burst / (burst.p_enter_burst + burst.p_exit_burst);
+  const double stationary =
+      (1.0 - pi_bad) * burst.loss_good + pi_bad * burst.loss_bad;
+  const double iid_approx = 1.0 - stationary * stationary * stationary;
+  EXPECT_GT(std::abs(predicted - iid_approx), 0.02);
+
+  int delivered = 0;
+  const int kTrials = 40000;
+  for (int i = 0; i < kTrials; ++i) {
+    Channel channel = Channel::make(0.0, 2, 1000 + i, burst);
+    Ledger ledger(2);
+    delivered += channel.send(0, 1, 1.0, ledger) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(delivered) / kTrials, predicted, 0.01);
+}
+
+TEST(GilbertElliott, ExactDeliveryProbabilityTracksChainState) {
+  // delivery_probability() is conditioned on the channel's *current*
+  // state, so mid-stream it takes one of two values (from-good /
+  // from-bad). Group outcomes by the prediction made immediately before
+  // each send: every group's empirical rate must match its prediction.
+  GilbertElliottParams burst;
+  burst.p_enter_burst = 0.15;
+  burst.p_exit_burst = 0.25;
+  burst.loss_good = 0.02;
+  burst.loss_bad = 0.9;
+  Channel channel = Channel::make(0.0, 1, 77, burst);
+  Ledger ledger(2);
+  std::map<double, std::pair<int, int>> by_prediction;  // p -> {n, delivered}
+  for (int i = 0; i < 60000; ++i) {
+    const double p = channel.delivery_probability();
+    auto& bucket = by_prediction[p];
+    ++bucket.first;
+    bucket.second += channel.send(0, 1, 1.0, ledger) ? 1 : 0;
+  }
+  ASSERT_EQ(by_prediction.size(), 2u);  // from-good and from-bad
+  for (const auto& [p, bucket] : by_prediction) {
+    ASSERT_GT(bucket.first, 1000);
+    EXPECT_NEAR(static_cast<double>(bucket.second) / bucket.first, p, 0.02);
+  }
 }
 
 }  // namespace

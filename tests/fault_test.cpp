@@ -431,5 +431,129 @@ TEST(ChaosRun, TraceReconcilesWithLedgerUnderLossAndRepairs) {
   EXPECT_TRUE(saw_repair_phase);  // Repair charges are phase-tagged.
 }
 
+TEST(ChaosRun, ConservationHoldsUnderImpairedArqWithCrashes) {
+  // Every loss and duplication mechanism at once: mid-run crashes, a
+  // bursty loss chain, and the full impairment pipeline (jitter, dup,
+  // reorder, corruption) under sliding-window ARQ. The conservation
+  // identity must still hold exactly, per source node and in aggregate,
+  // at 1 worker thread and at 4 — duplicated frames must never inflate
+  // `delivered`, and ARQ give-ups must land in `lost_channel`.
+  const Scenario s = chaos_scenario(8);
+  IsoMapOptions options = isomap_options(s, 4);
+  options.fault.crash_fraction = 0.06;
+  options.link_burst = GilbertElliottParams{0.05, 0.2, 0.05, 0.9};
+  options.link_retries = 2;
+  ImpairmentConfig impair;
+  impair.jitter_s = 0.004;
+  impair.dup_prob = 0.3;
+  impair.reorder_prob = 0.2;
+  impair.corrupt_prob = 0.1;
+  options.link_impair = impair;
+  options.link_arq.max_frame_attempts = 3;  // Give-ups become losses.
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    exec::set_thread_count(threads);
+    obs::NodeTelemetry telemetry(s.graph.size());
+    const IsoMapRun run = run_isomap(s, options, nullptr, &telemetry);
+    exec::set_thread_count(0);
+    ASSERT_GT(run.result.delivered_reports, 0);
+    ASSERT_GT(run.result.lost_crash_reports, 0);
+    ASSERT_GT(run.result.lost_channel_reports, 0);  // ARQ exhaustion.
+    EXPECT_EQ(run.result.generated_reports,
+              run.result.delivered_reports + run.result.filtered_reports +
+                  run.result.lost_channel_reports +
+                  run.result.lost_crash_reports);
+    long long generated = 0;
+    long long dup_rx = 0, corrupt_rx = 0, arq_timeouts = 0;
+    for (int v = 0; v < s.graph.size(); ++v) {
+      EXPECT_EQ(telemetry.generated(v), accounted(telemetry, v)) << v;
+      EXPECT_EQ(telemetry.tx_bytes(v), run.ledger.tx_bytes(v)) << v;
+      EXPECT_EQ(telemetry.rx_bytes(v), run.ledger.rx_bytes(v)) << v;
+      generated += telemetry.generated(v);
+      dup_rx += telemetry.dup_rx(v);
+      corrupt_rx += telemetry.corrupt_rx(v);
+      arq_timeouts += telemetry.arq_timeouts(v);
+    }
+    EXPECT_EQ(generated, run.result.generated_reports);
+    // The impairments actually fired, and the registry mirrors telemetry.
+    EXPECT_GT(dup_rx, 0);
+    EXPECT_GT(corrupt_rx, 0);
+    EXPECT_GT(arq_timeouts, 0);
+    EXPECT_DOUBLE_EQ(run.summary.counters.at("channel.dup_rx"),
+                     static_cast<double>(dup_rx));
+    EXPECT_DOUBLE_EQ(run.summary.counters.at("channel.corrupt_rx"),
+                     static_cast<double>(corrupt_rx));
+    EXPECT_DOUBLE_EQ(run.summary.counters.at("channel.arq_timeouts"),
+                     static_cast<double>(arq_timeouts));
+    // Measured end-to-end latency is populated and ordered.
+    EXPECT_GT(run.result.e2e_first_latency_s, 0.0);
+    EXPECT_GE(run.result.e2e_mean_latency_s, run.result.e2e_first_latency_s);
+    EXPECT_GE(run.result.e2e_last_latency_s, run.result.e2e_mean_latency_s);
+  }
+}
+
+/// Bitwise map-surface equality: same sink reports, same contour
+/// geometry. (Energy and latency legitimately differ when the link
+/// duplicates frames, so this compares the *map*, not the whole run.)
+void expect_same_map(const IsoMapResult& a, const IsoMapResult& b) {
+  ASSERT_EQ(a.sink_reports.size(), b.sink_reports.size());
+  for (std::size_t i = 0; i < a.sink_reports.size(); ++i) {
+    EXPECT_EQ(a.sink_reports[i].isolevel, b.sink_reports[i].isolevel) << i;
+    EXPECT_EQ(a.sink_reports[i].position.x, b.sink_reports[i].position.x)
+        << i;
+    EXPECT_EQ(a.sink_reports[i].position.y, b.sink_reports[i].position.y)
+        << i;
+    EXPECT_EQ(a.sink_reports[i].gradient.x, b.sink_reports[i].gradient.x)
+        << i;
+    EXPECT_EQ(a.sink_reports[i].gradient.y, b.sink_reports[i].gradient.y)
+        << i;
+    EXPECT_EQ(a.sink_reports[i].source, b.sink_reports[i].source) << i;
+  }
+  ASSERT_EQ(a.map.level_count(), b.map.level_count());
+  for (int k = 0; k < a.map.level_count(); ++k) {
+    const auto& ra = a.map.region(k);
+    const auto& rb = b.map.region(k);
+    ASSERT_EQ(ra.boundaries().size(), rb.boundaries().size()) << k;
+    for (std::size_t p = 0; p < ra.boundaries().size(); ++p) {
+      const Polyline& pa = ra.boundaries()[p];
+      const Polyline& pb = rb.boundaries()[p];
+      EXPECT_EQ(pa.closed(), pb.closed());
+      ASSERT_EQ(pa.points().size(), pb.points().size());
+      for (std::size_t q = 0; q < pa.points().size(); ++q) {
+        EXPECT_EQ(pa.points()[q].x, pb.points()[q].x);
+        EXPECT_EQ(pa.points()[q].y, pb.points()[q].y);
+      }
+    }
+  }
+}
+
+TEST(ChaosRun, DuplicateDeliveryIsIdempotentOnTheMap) {
+  // Receiver-side duplicate suppression: with a lossless, corruption-free
+  // pipeline, hearing every frame twice (dup_prob = 1) must yield the
+  // SAME map, bit for bit, as hearing it once — the in-network filter and
+  // sink aggregation never see the duplicates — at 1 thread and at 4.
+  const Scenario s = chaos_scenario(9);
+  IsoMapOptions once = isomap_options(s, 4);
+  ASSERT_TRUE(once.query.enable_filtering);
+  once.link_impair = ImpairmentConfig{};  // Latency only.
+  IsoMapOptions twice = once;
+  twice.link_impair->dup_prob = 1.0;
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    exec::set_thread_count(threads);
+    const IsoMapRun a = run_isomap(s, once);
+    const IsoMapRun b = run_isomap(s, twice);
+    exec::set_thread_count(0);
+    ASSERT_GT(a.result.delivered_reports, 0);
+    ASSERT_GT(a.result.filtered_reports, 0);  // The filter is live.
+    EXPECT_EQ(a.result.delivered_reports, b.result.delivered_reports);
+    EXPECT_EQ(a.result.filtered_reports, b.result.filtered_reports);
+    EXPECT_GT(b.summary.counters.at("channel.dup_rx"), 0.0);
+    expect_same_map(a.result, b.result);
+    // The duplicated run pays strictly more receive energy.
+    EXPECT_GT(b.ledger.total_rx_bytes(), a.ledger.total_rx_bytes());
+  }
+}
+
 }  // namespace
 }  // namespace isomap

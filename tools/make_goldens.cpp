@@ -15,6 +15,10 @@
 //  - band_edge_ulp:     6 incremental rounds where selected readings sit
 //                       exactly on (and one ulp around) isolevel band
 //                       edges — pins the Def. 3.1 boundary-bit behaviour.
+//  - impaired_arq:      one-shot over the link-impairment pipeline
+//                       (latency/jitter/dup/reorder/corrupt) with
+//                       sliding-window ARQ on a bursty channel — pins
+//                       the virtual-time event interleaving.
 
 #include <cmath>
 #include <filesystem>
@@ -159,6 +163,33 @@ capsule::RunCapsule golden_band_edge_ulp() {
       "band_edge_ulp: readings parked on isolevel band edges +/- 1 ulp");
 }
 
+capsule::RunCapsule golden_impaired_arq() {
+  ScenarioConfig config;
+  config.num_nodes = 256;
+  config.field_side = 16.0;
+  config.seed = 41;
+  const Scenario scenario = make_scenario(config);
+
+  IsoMapOptions options = isomap_options(scenario, 4);
+  options.link_burst = GilbertElliottParams{};
+  options.link_seed = 0xA12B3ULL;
+  ImpairmentConfig impair;
+  impair.latency_s = 0.004;
+  impair.jitter_s = 0.006;
+  impair.dup_prob = 0.15;
+  impair.reorder_prob = 0.1;
+  impair.reorder_extra_s = 0.02;
+  impair.corrupt_prob = 0.05;
+  options.link_impair = impair;
+  options.link_arq.window = 4;
+  options.link_arq.frame_payload_bytes = 24.0;
+  options.link_arq.timeout_s = 0.04;
+  options.link_arq.max_frame_attempts = 6;
+  return capsule::record_single_shot(
+      scenario, options,
+      "impaired_arq: bursty + jitter/dup/reorder/corrupt under ARQ");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,5 +207,6 @@ int main(int argc, char** argv) {
   ok = emit(dir, "continuous_drift", golden_continuous_drift()) && ok;
   ok = emit(dir, "chaos_crash_burst", golden_chaos_crash_burst()) && ok;
   ok = emit(dir, "band_edge_ulp", golden_band_edge_ulp()) && ok;
+  ok = emit(dir, "impaired_arq", golden_impaired_arq()) && ok;
   return ok ? 0 : 1;
 }
