@@ -10,6 +10,7 @@
 #include <chrono>
 
 #include "bench/bench_common.hpp"
+#include "geometry/marching_squares.hpp"
 #include "geometry/voronoi.hpp"
 #include "isomap/node_selection.hpp"
 #include "isomap/regression.hpp"
@@ -285,6 +286,119 @@ int main() {
         .cell(full_ms, 2)
         .cell(split_ms, 2)
         .cell(full_ms / split_ms, 1);
+  }
+
+  // SoA regression: the AoS fit_plane walks FieldSample structs (24-byte
+  // stride per coordinate); the SoA overload streams flat coordinate and
+  // value arrays. Each of the independent accumulator chains adds the same
+  // addends in the same order, so the fitted plane is bit-identical —
+  // checked on every neighbourhood before timing.
+  for (const int n : {400, 2500, 10000}) {
+    const Scenario s = harbor_scenario(n, kBenchSeed);
+    std::vector<std::vector<FieldSample>> aos;
+    std::vector<std::vector<double>> all_xs, all_ys, all_vs;
+    for (int i = 0; i < s.graph.size(); ++i) {
+      if (!s.graph.alive(i)) continue;
+      std::vector<FieldSample> samples;
+      std::vector<double> xs, ys, vs;
+      const auto push = [&](int v) {
+        const Vec2 p = s.deployment.node(v).reported_pos();
+        const double reading = s.readings[static_cast<std::size_t>(v)];
+        samples.push_back({p, reading});
+        xs.push_back(p.x);
+        ys.push_back(p.y);
+        vs.push_back(reading);
+      };
+      push(i);
+      for (int nb : s.graph.neighbour_span(i)) push(nb);
+      aos.push_back(std::move(samples));
+      all_xs.push_back(std::move(xs));
+      all_ys.push_back(std::move(ys));
+      all_vs.push_back(std::move(vs));
+    }
+    for (std::size_t i = 0; i < aos.size(); ++i) {
+      const auto a = fit_plane(aos[i]);
+      const auto b = fit_plane(all_xs[i], all_ys[i], all_vs[i]);
+      const bool same = a.has_value() == b.has_value() &&
+                        (!a || (a->c0 == b->c0 && a->c1 == b->c1 &&
+                                a->c2 == b->c2));
+      if (!same) {
+        std::cerr << "[micro_hotpaths] AoS/SoA fit mismatch\n";
+        return 1;
+      }
+    }
+    volatile double sink = 0.0;
+    const double aos_ms = best_ms(5, [&] {
+      double total = 0.0;
+      for (const auto& samples : aos)
+        if (const auto fit = fit_plane(samples)) total += fit->c1;
+      sink = total;
+    });
+    const double soa_ms = best_ms(5, [&] {
+      double total = 0.0;
+      for (std::size_t i = 0; i < aos.size(); ++i)
+        if (const auto fit = fit_plane(all_xs[i], all_ys[i], all_vs[i]))
+          total += fit->c1;
+      sink = total;
+    });
+    table.row()
+        .cell("fit_soa")
+        .cell(n)
+        .cell(aos_ms, 2)
+        .cell(soa_ms, 2)
+        .cell(aos_ms / soa_ms, 1);
+  }
+
+  // Marching squares: per-cell corner re-evaluation + eager edge
+  // interpolation (reference) vs the two-row value cache with lazy
+  // crossings. Identity-checked on the full polyline set per isolevel.
+  {
+    const Scenario s = harbor_scenario(2500, kBenchSeed);
+    const FieldBounds fb = s.field.bounds();
+    for (const int res : {128, 256, 512}) {
+      SampleGrid grid;
+      grid.nx = res;
+      grid.ny = res;
+      grid.origin = {fb.x0, fb.y0};
+      grid.dx = fb.width() / static_cast<double>(res - 1);
+      grid.dy = fb.height() / static_cast<double>(res - 1);
+      grid.value = [&](int ix, int iy) {
+        return s.field.value(grid.world(ix, iy));
+      };
+      const std::vector<double> levels = {4.0, 8.0, 12.0, 16.0};
+      for (const double level : levels) {
+        const auto got = marching_squares(grid, level);
+        const auto want = marching_squares_reference(grid, level);
+        bool same = got.size() == want.size();
+        for (std::size_t c = 0; same && c < got.size(); ++c)
+          same = got[c].points() == want[c].points() &&
+                 got[c].closed() == want[c].closed();
+        if (!same) {
+          std::cerr << "[micro_hotpaths] marching-squares mismatch at level "
+                    << level << "\n";
+          return 1;
+        }
+      }
+      volatile std::size_t sink = 0;
+      const double reference_ms = best_ms(3, [&] {
+        std::size_t total = 0;
+        for (const double level : levels)
+          total += marching_squares_reference(grid, level).size();
+        sink = total;
+      });
+      const double cached_ms = best_ms(3, [&] {
+        std::size_t total = 0;
+        for (const double level : levels)
+          total += marching_squares(grid, level).size();
+        sink = total;
+      });
+      table.row()
+          .cell("marching_sq")
+          .cell(res)
+          .cell(reference_ms, 2)
+          .cell(cached_ms, 2)
+          .cell(reference_ms / cached_ms, 1);
+    }
   }
 
   // Flight-recorder charge path: the per-node telemetry table rides the

@@ -9,7 +9,7 @@ namespace isomap {
 PointIndex::PointIndex(std::vector<Vec2> points)
     : points_(std::move(points)) {
   if (points_.empty()) {
-    cells_.resize(1);
+    grid_ = TileGrid(TileLayout{}, {});
     return;
   }
   double max_x = points_[0].x, max_y = points_[0].y;
@@ -33,27 +33,9 @@ PointIndex::PointIndex(std::vector<Vec2> points)
   if (cell_size_ <= 0.0) cell_size_ = 1.0;
   cols_ = std::max(1, static_cast<int>(std::ceil(span_x / cell_size_)));
   rows_ = std::max(1, static_cast<int>(std::ceil(span_y / cell_size_)));
-  cells_.resize(static_cast<std::size_t>(cols_) * rows_);
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    const int c = cell_col(points_[i].x);
-    const int r = cell_row(points_[i].y);
-    cells_[static_cast<std::size_t>(r) * cols_ + c].push_back(
-        static_cast<int>(i));
-  }
-}
-
-int PointIndex::cell_col(double x) const {
-  return std::clamp(static_cast<int>((x - min_x_) / cell_size_), 0,
-                    cols_ - 1);
-}
-
-int PointIndex::cell_row(double y) const {
-  return std::clamp(static_cast<int>((y - min_y_) / cell_size_), 0,
-                    rows_ - 1);
-}
-
-const std::vector<int>& PointIndex::cell(int col, int row) const {
-  return cells_[static_cast<std::size_t>(row) * cols_ + col];
+  grid_ = TileGrid(
+      TileLayout{min_x_, min_y_, cell_size_, cell_size_, cols_, rows_},
+      points_);
 }
 
 int PointIndex::nearest(Vec2 q) const {

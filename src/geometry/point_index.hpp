@@ -1,7 +1,9 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "geometry/tile_grid.hpp"
 #include "geometry/vec2.hpp"
 
 namespace isomap {
@@ -10,6 +12,12 @@ namespace isomap {
 /// map classification performs one nearest-site query per raster pixel
 /// (LevelRegion::contains), which is O(sites) naively; the index answers
 /// it in ~O(1) for the roughly uniform isoposition sets the sink sees.
+///
+/// Cell contents live in one flat CSR array (TileGrid) rather than a
+/// vector-of-vectors: building is two counting passes and queries walk
+/// contiguous spans, so ring searches touch only adjacent tiles of one
+/// cache-friendly array. Per-cell point order is identical to the old
+/// per-cell push_back layout, keeping every query result bit-compatible.
 ///
 /// The structure is immutable after construction. Queries anywhere in the
 /// plane are valid (points outside the indexed bounding box fall back to
@@ -46,20 +54,17 @@ class PointIndex {
   double cell_size() const { return cell_size_; }
 
  private:
-  struct CellRange {
-    int begin = 0;
-    int end = 0;
-  };
-
-  int cell_col(double x) const;
-  int cell_row(double y) const;
-  const std::vector<int>& cell(int col, int row) const;
+  int cell_col(double x) const { return grid_.layout().col_of(x); }
+  int cell_row(double y) const { return grid_.layout().row_of(y); }
+  std::span<const int> cell(int col, int row) const {
+    return grid_.tile(col, row);
+  }
 
   std::vector<Vec2> points_;
   double min_x_ = 0.0, min_y_ = 0.0;
   double cell_size_ = 1.0;
   int cols_ = 1, rows_ = 1;
-  std::vector<std::vector<int>> cells_;
+  TileGrid grid_;
 };
 
 }  // namespace isomap

@@ -48,7 +48,34 @@ LevelRegion::LevelRegion(double isolevel, std::vector<IsolineReport> reports,
   unit_dirs_.reserve(reports_.size());
   for (const auto& r : reports_) unit_dirs_.push_back(r.gradient.normalized());
   build_pieces(mode);
+  build_piece_boxes();
   build_boundaries();
+}
+
+void LevelRegion::build_piece_boxes() {
+  constexpr double kContainsEps = 1e-9;  // Tolerance used by contains().
+  piece_boxes_.resize(pieces_.size());
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    piece_boxes_[i].reserve(pieces_[i].size());
+    for (const Polygon& piece : pieces_[i]) {
+      PieceBox box{std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity()};
+      for (std::size_t v = 0; v < piece.size(); ++v) {
+        const Vec2 p = piece.vertex(v);
+        box.x0 = std::min(box.x0, p.x);
+        box.y0 = std::min(box.y0, p.y);
+        box.x1 = std::max(box.x1, p.x);
+        box.y1 = std::max(box.y1, p.y);
+      }
+      box.x0 -= 2.0 * kContainsEps;
+      box.y0 -= 2.0 * kContainsEps;
+      box.x1 += 2.0 * kContainsEps;
+      box.y1 += 2.0 * kContainsEps;
+      piece_boxes_[i].push_back(box);
+    }
+  }
 }
 
 void LevelRegion::build_pieces(RegulationMode mode) {
@@ -133,8 +160,14 @@ bool LevelRegion::contains(Vec2 q) const {
 bool LevelRegion::contains_rules(Vec2 q) const {
   const int site = voronoi_.nearest_site(q);
   if (site < 0) return false;
-  for (const auto& piece : pieces_[static_cast<std::size_t>(site)]) {
-    if (piece.contains(q, 1e-9)) return true;
+  const auto& pieces = pieces_[static_cast<std::size_t>(site)];
+  const auto& boxes = piece_boxes_[static_cast<std::size_t>(site)];
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    // Inflated-box rejection is exact (see PieceBox): skipping a piece
+    // here never changes the answer the polygon walk would have given.
+    const PieceBox& b = boxes[i];
+    if (q.x < b.x0 || q.x > b.x1 || q.y < b.y0 || q.y > b.y1) continue;
+    if (pieces[i].contains(q, 1e-9)) return true;
   }
   return false;
 }
@@ -237,6 +270,62 @@ int ContourMap::level_index(Vec2 q) const {
   return level;
 }
 
+StreamingSinkBuilder::StreamingSinkBuilder(FieldBounds bounds,
+                                           std::vector<double> isolevels,
+                                           RegulationMode mode)
+    : bounds_(bounds), mode_(mode), isolevels_(std::move(isolevels)) {
+  level_reports_.resize(isolevels_.size());
+  sorted_levels_.reserve(isolevels_.size());
+  for (std::size_t li = 0; li < isolevels_.size(); ++li)
+    if (!std::isnan(isolevels_[li]))
+      sorted_levels_.push_back(static_cast<int>(li));
+  std::sort(sorted_levels_.begin(), sorted_levels_.end(), [&](int a, int b) {
+    return isolevels_[static_cast<std::size_t>(a)] <
+           isolevels_[static_cast<std::size_t>(b)];
+  });
+}
+
+void StreamingSinkBuilder::consume(const IsolineReport& report) {
+  // The batch builder matched with |r.isolevel - level| < 1e-9; locate
+  // the candidate window [report.isolevel - tol, ...) by binary search
+  // and apply that exact predicate to each candidate, so membership is
+  // decided by the same comparison on the same doubles. Appending in
+  // consume order reproduces the per-level report order of the old
+  // level-by-level scan (both are report order within each level).
+  constexpr double kLevelTol = 1e-9;
+  if (std::isnan(report.isolevel)) return;
+  const auto begin = std::lower_bound(
+      sorted_levels_.begin(), sorted_levels_.end(),
+      report.isolevel - kLevelTol, [&](int li, double v) {
+        return isolevels_[static_cast<std::size_t>(li)] < v;
+      });
+  for (auto it = begin; it != sorted_levels_.end(); ++it) {
+    const double level = isolevels_[static_cast<std::size_t>(*it)];
+    if (!(level - report.isolevel < kLevelTol)) break;
+    if (std::abs(report.isolevel - level) < kLevelTol) {
+      level_reports_[static_cast<std::size_t>(*it)].push_back(report);
+      ++buffered_;
+    }
+  }
+}
+
+ContourMap StreamingSinkBuilder::finish() {
+  // Each level's Voronoi/regulation construction is independent; build
+  // them across the pool (each slot written by exactly one task, so the
+  // result is identical to the serial loop).
+  const std::size_t k = isolevels_.size();
+  std::vector<std::optional<LevelRegion>> slots(k);
+  exec::parallel_for(k, [&](std::size_t li) {
+    slots[li].emplace(isolevels_[li], std::move(level_reports_[li]), bounds_,
+                      mode_);
+  });
+  buffered_ = 0;
+  std::vector<LevelRegion> regions;
+  regions.reserve(k);
+  for (auto& slot : slots) regions.push_back(std::move(*slot));
+  return ContourMap(bounds_, std::move(regions));
+}
+
 ContourMapBuilder::ContourMapBuilder(FieldBounds bounds, RegulationMode mode)
     : bounds_(bounds), mode_(mode) {}
 
@@ -247,24 +336,9 @@ ContourMap ContourMapBuilder::build(const std::vector<IsolineReport>& reports,
   obs::PhaseTimer timer(obs::kPhaseMapGen);
   obs::count("map_gen.reports", static_cast<double>(reports.size()));
   obs::count("map_gen.levels", static_cast<double>(isolevels.size()));
-  const std::size_t k = isolevels.size();
-  std::vector<std::vector<IsolineReport>> level_reports(k);
-  for (std::size_t li = 0; li < k; ++li)
-    for (const auto& r : reports)
-      if (std::abs(r.isolevel - isolevels[li]) < 1e-9)
-        level_reports[li].push_back(r);
-  // Each level's Voronoi/regulation construction is independent; build
-  // them across the pool (each slot written by exactly one task, so the
-  // result is identical to the serial loop).
-  std::vector<std::optional<LevelRegion>> slots(k);
-  exec::parallel_for(k, [&](std::size_t li) {
-    slots[li].emplace(isolevels[li], std::move(level_reports[li]), bounds_,
-                      mode_);
-  });
-  std::vector<LevelRegion> regions;
-  regions.reserve(k);
-  for (auto& slot : slots) regions.push_back(std::move(*slot));
-  return ContourMap(bounds_, std::move(regions));
+  StreamingSinkBuilder streaming(bounds_, isolevels, mode_);
+  for (const auto& r : reports) streaming.consume(r);
+  return streaming.finish();
 }
 
 }  // namespace isomap

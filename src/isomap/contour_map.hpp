@@ -50,9 +50,20 @@ class LevelRegion {
   const std::vector<Polyline>& boundaries() const { return boundaries_; }
 
  private:
+  /// Axis-aligned bounding box of one piece, inflated by twice the
+  /// containment tolerance: a query point outside the inflated box is
+  /// farther than the tolerance from every point of the piece, so the
+  /// exact Polygon::contains test is guaranteed to reject it. Lets the
+  /// point-in-region hot loop skip the per-edge polygon walk for most
+  /// pieces with four comparisons.
+  struct PieceBox {
+    double x0, y0, x1, y1;
+  };
+
   bool contains_rules(Vec2 q) const;
   bool contains_blended(Vec2 q) const;
   void build_pieces(RegulationMode mode);
+  void build_piece_boxes();
   void build_boundaries();
 
   double isolevel_;
@@ -62,6 +73,7 @@ class LevelRegion {
   VoronoiDiagram voronoi_;
   std::vector<Vec2> unit_dirs_;  ///< Normalized descent directions.
   std::vector<std::vector<Polygon>> pieces_;
+  std::vector<std::vector<PieceBox>> piece_boxes_;  ///< Parallel to pieces_.
   std::vector<Polyline> boundaries_;
 };
 
@@ -103,7 +115,49 @@ class ContourMap {
   std::vector<std::shared_ptr<const LevelRegion>> regions_;
 };
 
-/// Builds ContourMaps from sink-side report sets.
+/// Streaming sink-side map construction: reports are consumed one at a
+/// time into per-level buckets, and finish() assembles the stacked map
+/// from the buckets. The sink never needs the full report set *and* a
+/// per-level regrouping to coexist — its live memory is bounded by the
+/// delivered reports (O(sqrt(n) * levels)), which is what keeps a
+/// million-node round's sink footprint flat.
+///
+/// Identity contract: a report lands in exactly the buckets the batch
+/// builder's per-level scan (|report.isolevel - level| < 1e-9) put it in,
+/// in the same per-level order, so finish() builds bit-identical regions.
+class StreamingSinkBuilder {
+ public:
+  StreamingSinkBuilder(FieldBounds bounds, std::vector<double> isolevels,
+                       RegulationMode mode = RegulationMode::kRules);
+
+  /// Bucket one report into every isolevel within the matching tolerance
+  /// (located by binary search over the sorted level view; the exact
+  /// batch-builder predicate decides membership).
+  void consume(const IsolineReport& report);
+
+  /// Reports currently buffered across all levels (a report matching m
+  /// levels counts m times) — the sink's live memory driver.
+  std::size_t buffered_reports() const { return buffered_; }
+
+  /// Build the stacked map from the buckets (one LevelRegion per level,
+  /// constructed across the exec pool). Consumes the buckets.
+  ContourMap finish();
+
+ private:
+  FieldBounds bounds_;
+  RegulationMode mode_;
+  std::vector<double> isolevels_;
+  /// Level indices ordered by ascending isolevel (NaN levels excluded —
+  /// they can never match), so consume() binary-searches instead of
+  /// scanning every level per report.
+  std::vector<int> sorted_levels_;
+  std::vector<std::vector<IsolineReport>> level_reports_;
+  std::size_t buffered_ = 0;
+};
+
+/// Builds ContourMaps from sink-side report sets. A thin batch facade
+/// over StreamingSinkBuilder: build() streams the reports through it and
+/// finishes the map.
 class ContourMapBuilder {
  public:
   explicit ContourMapBuilder(FieldBounds bounds,

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "isomap/round_arena.hpp"
 #include "obs/node_telemetry.hpp"
 #include "obs/obs.hpp"
 
@@ -23,8 +24,9 @@ bool InNetworkFilter::redundant(const IsolineReport& a,
   return angle_between(a.gradient, b.gradient) < angular_rad_;
 }
 
-void InNetworkFilter::merge(std::vector<IsolineReport>& kept,
-                            const std::vector<IsolineReport>& incoming,
+template <typename Alloc>
+void InNetworkFilter::merge(std::vector<IsolineReport, Alloc>& kept,
+                            std::span<const IsolineReport> incoming,
                             double* ops, int at_node) const {
   // Resolve the observation context once per merge, not per comparison.
   obs::TraceSink* const sink = obs::trace();
@@ -112,6 +114,13 @@ void InNetworkFilter::merge(std::vector<IsolineReport>& kept,
   }
   if (dropped > 0) obs::count("filter.dropped", static_cast<double>(dropped));
 }
+
+template void InNetworkFilter::merge(std::vector<IsolineReport>& kept,
+                                     std::span<const IsolineReport> incoming,
+                                     double* ops, int at_node) const;
+template void InNetworkFilter::merge(
+    std::vector<IsolineReport, ArenaAlloc<IsolineReport>>& kept,
+    std::span<const IsolineReport> incoming, double* ops, int at_node) const;
 
 std::vector<IsolineReport> InNetworkFilter::filter(
     std::vector<IsolineReport> reports, double* ops) const {

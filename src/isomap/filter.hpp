@@ -1,5 +1,7 @@
 #pragma once
 
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "isomap/query.hpp"
@@ -40,9 +42,22 @@ class InNetworkFilter {
   /// when an obs::TraceSink is active, every dropped report is emitted as
   /// a per-hop "drop" event carrying the node, the dropped report's
   /// source and its isolevel — the event-by-event view of Fig. 13.
-  void merge(std::vector<IsolineReport>& kept,
-             const std::vector<IsolineReport>& incoming, double* ops = nullptr,
+  ///
+  /// Templated over the kept vector's allocator so the protocol's
+  /// arena-backed convergecast buffers (see round_arena.hpp) filter in
+  /// place; instantiated in filter.cpp for std::allocator and ArenaAlloc.
+  template <typename Alloc>
+  void merge(std::vector<IsolineReport, Alloc>& kept,
+             std::span<const IsolineReport> incoming, double* ops = nullptr,
              int at_node = -1) const;
+
+  void merge(std::vector<IsolineReport>& kept,
+             std::initializer_list<IsolineReport> incoming,
+             double* ops = nullptr, int at_node = -1) const {
+    merge(kept,
+          std::span<const IsolineReport>(incoming.begin(), incoming.size()),
+          ops, at_node);
+  }
 
   /// Filter a whole set in one pass (order-dependent, first-wins).
   std::vector<IsolineReport> filter(std::vector<IsolineReport> reports,

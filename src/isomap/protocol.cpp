@@ -1,10 +1,10 @@
 #include "isomap/protocol.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 
 #include "isomap/regression.hpp"
+#include "isomap/round_arena.hpp"
 #include "net/channel.hpp"
 #include "obs/node_telemetry.hpp"
 #include "obs/obs.hpp"
@@ -51,12 +51,17 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
 
   // --- Step 2: local measurement and report generation (Section 3.3). ---
   // Each distinct isoline node performs one neighbourhood exchange and one
-  // regression, shared across all isolevels it matched.
-  std::map<int, Vec2> descent_by_node;
+  // regression, shared across all isolevels it matched. Per-node state is
+  // kept in flat node-indexed tables (no tree maps): selection emits
+  // entries grouped by node, so first-appearance dedup via a flag array
+  // yields the same distinct-node order the old std::map walk produced.
+  std::vector<Vec2> descent(static_cast<std::size_t>(n));
+  std::vector<unsigned char> is_isoline(static_cast<std::size_t>(n), 0);
   std::vector<int> distinct_nodes;
   for (const auto& entry : selected) {
-    if (descent_by_node.count(entry.node)) continue;
-    descent_by_node[entry.node] = Vec2{};
+    auto& flag = is_isoline[static_cast<std::size_t>(entry.node)];
+    if (flag) continue;
+    flag = 1;
     distinct_nodes.push_back(entry.node);
   }
 
@@ -67,6 +72,10 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
   obs::PhaseTimer fit_timer(obs::kPhaseGradientFit);
   double measurement_bytes = 0.0;
   std::vector<bool> has_gradient(static_cast<std::size_t>(n), false);
+  // SoA sample scratch reused across isoline nodes: the regression reads
+  // unit-stride coordinate/value arrays instead of strided FieldSample
+  // fields, and the arrays keep their capacity across fits.
+  std::vector<double> sample_xs, sample_ys, sample_vs;
   for (int node : distinct_nodes) {
     const std::vector<std::pair<int, int>> scope =
         graph.k_hop_neighbours_with_distance(node, query.regression_hops);
@@ -89,20 +98,26 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
     // Regression runs on the positions the nodes *believe* (their
     // localization output); the sensed values come from the physical
     // positions.
-    std::vector<FieldSample> samples;
-    samples.reserve(scope.size() + 1);
-    samples.push_back({deployment.node(node).reported_pos(),
-                       readings[static_cast<std::size_t>(node)]});
-    for (const auto& [nb, dist] : scope) {
-      samples.push_back({deployment.node(nb).reported_pos(),
-                         readings[static_cast<std::size_t>(nb)]});
-    }
+    sample_xs.clear();
+    sample_ys.clear();
+    sample_vs.clear();
+    sample_xs.reserve(scope.size() + 1);
+    sample_ys.reserve(scope.size() + 1);
+    sample_vs.reserve(scope.size() + 1);
+    const auto push_sample = [&](int v) {
+      const Vec2 p = deployment.node(v).reported_pos();
+      sample_xs.push_back(p.x);
+      sample_ys.push_back(p.y);
+      sample_vs.push_back(readings[static_cast<std::size_t>(v)]);
+    };
+    push_sample(node);
+    for (const auto& [nb, dist] : scope) push_sample(nb);
 
     double ops = 0.0;
-    const auto fit = fit_plane(samples, &ops);
+    const auto fit = fit_plane(sample_xs, sample_ys, sample_vs, &ops);
     ledger.compute(node, ops);
     if (fit) {
-      descent_by_node[node] = fit->descent_direction();
+      descent[static_cast<std::size_t>(node)] = fit->descent_direction();
       has_gradient[static_cast<std::size_t>(node)] = true;
     }
   }
@@ -116,14 +131,20 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
   // full source->relays->sink path reconstructs from the JSONL trace.
   obs::NodeTelemetry* const tel = obs::telemetry();
   obs::TraceSink* const span_sink = obs::trace();
-  std::vector<std::vector<IsolineReport>> buffer(static_cast<std::size_t>(n));
+  // Per-node convergecast buffers live in a per-round arena: the outer
+  // table is one flat vector, and every inner report vector bump-allocates
+  // from the arena instead of hitting the heap once per node.
+  RoundArena arena;
+  using ReportVec = std::vector<IsolineReport, ArenaAlloc<IsolineReport>>;
+  std::vector<ReportVec> buffer(static_cast<std::size_t>(n),
+                                ReportVec(ArenaAlloc<IsolineReport>(arena)));
   int generated = 0;
   for (const auto& entry : selected) {
     if (!has_gradient[static_cast<std::size_t>(entry.node)]) continue;
     if (!tree.reachable(entry.node)) continue;
     auto& slot = buffer[static_cast<std::size_t>(entry.node)];
     slot.push_back({entry.isolevel, deployment.node(entry.node).reported_pos(),
-                    descent_by_node[entry.node], entry.node});
+                    descent[static_cast<std::size_t>(entry.node)], entry.node});
     slot.back().id = generated;
     if (tel != nullptr) tel->count_generated(entry.node);
     if (span_sink != nullptr) {
@@ -352,8 +373,10 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
   if (repairs > 0) obs::count("route.repairs", repairs);
   if (repair_bytes > 0.0) obs::count("route.repair_bytes", repair_bytes);
 
-  std::vector<IsolineReport> sink_reports =
-      std::move(buffer[static_cast<std::size_t>(route.sink())]);
+  // Copy the sink's slot out of the arena (O(sqrt(n) * levels) reports)
+  // before the arena dies with this scope.
+  const ReportVec& sink_slot = buffer[static_cast<std::size_t>(route.sink())];
+  std::vector<IsolineReport> sink_reports(sink_slot.begin(), sink_slot.end());
   if (tel != nullptr)
     for (const auto& r : sink_reports) tel->count_delivered(r.source);
   obs::count("reports.delivered", static_cast<double>(sink_reports.size()));

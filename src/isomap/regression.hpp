@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "geometry/vec2.hpp"
@@ -54,9 +55,23 @@ struct PlaneValueStats {
 /// Accumulate the position block over `samples` in order.
 PlanePositionStats plane_position_stats(const std::vector<FieldSample>& samples);
 
+/// SoA variant: positions given as parallel coordinate arrays. Each
+/// accumulator adds the same addends in the same order as the AoS loop
+/// (vectorization happens across the independent sum chains and via unit-
+/// stride loads, never by reassociating within a chain), so the stats —
+/// and any fit solved from them — are bit-identical to the AoS path.
+PlanePositionStats plane_position_stats(std::span<const double> xs,
+                                        std::span<const double> ys);
+
 /// Accumulate the value block over `samples` in order, centring positions
 /// on `pos.mean`. The samples must be the ones `pos` was built from.
 PlaneValueStats plane_value_stats(const std::vector<FieldSample>& samples,
+                                  const PlanePositionStats& pos);
+
+/// SoA variant of plane_value_stats; bit-identical (see above).
+PlaneValueStats plane_value_stats(std::span<const double> xs,
+                                  std::span<const double> ys,
+                                  std::span<const double> vs,
                                   const PlanePositionStats& pos);
 
 /// Solve the 3x3 normal equations assembled from the two blocks. Returns
@@ -85,6 +100,16 @@ inline double fit_plane_ops(std::size_t n_samples) {
 /// which the protocol charges to the node's compute ledger — this is the
 /// O(deg) per-isoline-node cost of Section 4.2.
 std::optional<PlaneFit> fit_plane(const std::vector<FieldSample>& samples,
+                                  double* ops = nullptr);
+
+/// SoA variant of fit_plane over parallel coordinate/value arrays (the
+/// protocol's gradient-fit hot loop streams neighbour samples into flat
+/// scratch arrays and fits from them without building FieldSample
+/// structs). Same observability emission, same ops charge, bit-identical
+/// result to the AoS overload on the same sample sequence.
+std::optional<PlaneFit> fit_plane(std::span<const double> xs,
+                                  std::span<const double> ys,
+                                  std::span<const double> vs,
                                   double* ops = nullptr);
 
 /// Solve a 3x3 linear system in-place by Gaussian elimination with partial

@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "geometry/tile_grid.hpp"
+
 namespace isomap {
 
 CommGraph::CommGraph(const Deployment& deployment, double radio_range)
@@ -14,73 +16,69 @@ CommGraph::CommGraph(const Deployment& deployment, double radio_range)
     throw std::invalid_argument("CommGraph: radio_range must be positive");
   const auto& nodes = deployment.nodes();
   const std::size_t n = nodes.size();
-  adjacency_.resize(n);
   alive_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) alive_[i] = nodes[i].alive;
+  std::vector<Vec2> pos(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    alive_[i] = nodes[i].alive ? 1 : 0;
+    pos[i] = nodes[i].pos;
+  }
 
-  // Spatial hash with cell size = radio range; each node only checks the
-  // 3x3 cell block around it.
+  // Tile grid keyed by the radio range (tile extent >= range, so a 3x3
+  // tile block covers every node within range). Tiles hold CSR-bucketed
+  // alive-node indices; dead nodes are never bucketed.
   const FieldBounds b = deployment.bounds();
   const int cols =
       std::max(1, static_cast<int>(std::floor(b.width() / radio_range)));
   const int rows =
       std::max(1, static_cast<int>(std::floor(b.height() / radio_range)));
-  const double cw = b.width() / cols;
-  const double ch = b.height() / rows;
-  auto cell_of = [&](Vec2 p) {
-    int c = static_cast<int>((p.x - b.x0) / cw);
-    int r = static_cast<int>((p.y - b.y0) / ch);
-    c = std::clamp(c, 0, cols - 1);
-    r = std::clamp(r, 0, rows - 1);
-    return r * cols + c;
-  };
-  std::vector<std::vector<int>> buckets(static_cast<std::size_t>(cols) * rows);
-  for (const auto& node : nodes)
-    if (node.alive) buckets[static_cast<std::size_t>(cell_of(node.pos))].push_back(node.id);
+  const TileGrid grid(TileLayout{b.x0, b.y0, b.width() / cols,
+                                 b.height() / rows, cols, rows},
+                      pos, alive_);
+  const TileLayout& layout = grid.layout();
 
+  // Adjacency is built straight into CSR form with two passes over the
+  // tile blocks: count each node's degree, prefix-sum the offsets, then
+  // fill and sort each node's slice ascending. The sorted slice is
+  // uniquely determined by the neighbour *set*, so the edge array is
+  // bit-identical to the old per-node push_back + sort construction.
   const double range2 = radio_range * radio_range;
-  for (const auto& node : nodes) {
-    if (!node.alive) continue;
-    const int c0 = std::clamp(
-        static_cast<int>((node.pos.x - b.x0) / cw), 0, cols - 1);
-    const int r0 = std::clamp(
-        static_cast<int>((node.pos.y - b.y0) / ch), 0, rows - 1);
-    for (int dr = -1; dr <= 1; ++dr) {
-      for (int dc = -1; dc <= 1; ++dc) {
-        const int r = r0 + dr;
-        const int c = c0 + dc;
-        if (r < 0 || r >= rows || c < 0 || c >= cols) continue;
-        for (int j : buckets[static_cast<std::size_t>(r) * cols + c]) {
-          if (j == node.id) continue;
-          if ((nodes[static_cast<std::size_t>(j)].pos - node.pos).norm2() <=
-              range2)
-            adjacency_[static_cast<std::size_t>(node.id)].push_back(j);
-        }
-      }
-    }
-    auto& adj = adjacency_[static_cast<std::size_t>(node.id)];
-    std::sort(adj.begin(), adj.end());
-  }
-
-  csr_offsets_.resize(n + 1, 0);
-  std::size_t total_edges = 0;
-  for (std::size_t i = 0; i < n; ++i) total_edges += adjacency_[i].size();
-  csr_edges_.reserve(total_edges);
+  csr_offsets_.assign(n + 1, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    csr_offsets_[i] = static_cast<int>(csr_edges_.size());
-    csr_edges_.insert(csr_edges_.end(), adjacency_[i].begin(),
-                      adjacency_[i].end());
+    if (!alive_[i]) continue;
+    const Vec2 p = pos[i];
+    int count = 0;
+    grid.for_each_in_block(
+        layout.col_of(p.x), layout.row_of(p.y), [&](int j) {
+          if (j == static_cast<int>(i)) return;
+          if ((pos[static_cast<std::size_t>(j)] - p).norm2() <= range2)
+            ++count;
+        });
+    csr_offsets_[i + 1] = count;
   }
-  csr_offsets_[n] = static_cast<int>(csr_edges_.size());
+  for (std::size_t i = 1; i <= n; ++i) csr_offsets_[i] += csr_offsets_[i - 1];
+  csr_edges_.resize(static_cast<std::size_t>(csr_offsets_[n]));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive_[i]) continue;
+    const Vec2 p = pos[i];
+    int* slice = csr_edges_.data() + csr_offsets_[i];
+    int count = 0;
+    grid.for_each_in_block(
+        layout.col_of(p.x), layout.row_of(p.y), [&](int j) {
+          if (j == static_cast<int>(i)) return;
+          if ((pos[static_cast<std::size_t>(j)] - p).norm2() <= range2)
+            slice[count++] = j;
+        });
+    std::sort(slice, slice + count);
+  }
 }
 
 double CommGraph::average_degree() const {
   long long total = 0;
   long long alive_count = 0;
-  for (std::size_t i = 0; i < adjacency_.size(); ++i) {
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
     if (!alive_[i]) continue;
     ++alive_count;
-    total += static_cast<long long>(adjacency_[i].size());
+    total += static_cast<long long>(degree(static_cast<int>(i)));
   }
   return alive_count ? static_cast<double>(total) / static_cast<double>(alive_count) : 0.0;
 }
@@ -95,7 +93,7 @@ std::vector<int> CommGraph::k_hop_neighbours(int i, int k) const {
 std::vector<std::pair<int, int>> CommGraph::k_hop_neighbours_with_distance(
     int i, int k) const {
   std::vector<std::pair<int, int>> out;
-  if (i < 0 || static_cast<std::size_t>(i) >= adjacency_.size() ||
+  if (i < 0 || static_cast<std::size_t>(i) >= alive_.size() ||
       !alive_[static_cast<std::size_t>(i)] || k <= 0)
     return out;
   // Epoch-stamped scratch reused across calls: the protocol runs one BFS
@@ -110,7 +108,7 @@ std::vector<std::pair<int, int>> CommGraph::k_hop_neighbours_with_distance(
     std::uint32_t epoch = 0;
   };
   thread_local Scratch s;
-  const std::size_t n = adjacency_.size();
+  const std::size_t n = alive_.size();
   if (s.stamp.size() < n) {
     s.stamp.resize(n, 0);
     s.hop.resize(n, 0);
@@ -147,7 +145,7 @@ bool CommGraph::is_connected() const {
     }
   }
   if (alive_count <= 1) return true;
-  std::vector<bool> seen(adjacency_.size(), false);
+  std::vector<bool> seen(alive_.size(), false);
   std::queue<int> queue;
   seen[static_cast<std::size_t>(start)] = true;
   queue.push(start);
@@ -155,7 +153,7 @@ bool CommGraph::is_connected() const {
   while (!queue.empty()) {
     const int u = queue.front();
     queue.pop();
-    for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+    for (int v : neighbour_span(u)) {
       if (seen[static_cast<std::size_t>(v)]) continue;
       seen[static_cast<std::size_t>(v)] = true;
       ++reached;

@@ -56,7 +56,7 @@ void Ledger::transmit(int from, int to, double bytes) {
   }
 }
 
-void Ledger::broadcast(int from, const std::vector<int>& receivers,
+void Ledger::broadcast(int from, std::span<const int> receivers,
                        double bytes) {
   check_node(from, "broadcast");
   check_amount(bytes, "broadcast");

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace isomap {
@@ -29,7 +30,12 @@ class Ledger {
 
   /// Local broadcast: the sender pays one transmission of `bytes`; every
   /// listed receiver pays one reception of `bytes`.
-  void broadcast(int from, const std::vector<int>& receivers, double bytes);
+  void broadcast(int from, std::span<const int> receivers, double bytes);
+  void broadcast(int from, std::initializer_list<int> receivers,
+                 double bytes) {
+    broadcast(from, std::span<const int>(receivers.begin(), receivers.size()),
+              bytes);
+  }
 
   /// A transmission that was lost in the channel: the sender pays the
   /// airtime, nobody receives anything.

@@ -47,6 +47,7 @@ JsonValue RunSummary::to_json() const {
   hs = JsonValue::object();
   for (const auto& [name, snap] : histograms) hs[name] = snap.to_json();
   if (node_telemetry) v["node_telemetry"] = node_telemetry->to_json();
+  if (peak_rss_bytes > 0.0) v["peak_rss_bytes"] = JsonValue(peak_rss_bytes);
   v["trace_events"] = JsonValue(trace_events);
   return v;
 }

@@ -64,6 +64,11 @@ struct RunSummary {
   /// Spatial balance block (hotspot ids, energy Gini, max hops) — only
   /// present when the run carried a NodeTelemetry table.
   std::optional<NodeTelemetrySummary> node_telemetry;
+  /// Process peak resident-set size (bytes) sampled when the run summary
+  /// was assembled; 0 when unavailable or not sampled. Machine-dependent
+  /// like wall_s: emitted in to_json() only when positive and zeroed by
+  /// capsule normalization, so replay identity is untouched.
+  double peak_rss_bytes = 0.0;
 
   /// Sum of one phase's recorded seconds (0 when the phase never ran).
   double phase_seconds(const std::string& phase) const;

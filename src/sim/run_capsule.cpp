@@ -925,6 +925,8 @@ std::string normalized_summary_json(obs::RunSummary summary) {
   summary.wall_s = 0.0;
   summary.phases.clear();
   summary.trace_events = 0;
+  // Machine-dependent like wall_s: never part of the identity contract.
+  summary.peak_rss_bytes = 0.0;
   // The spatial-balance block is capsule-compared through the dedicated
   // telemetry section, not the summary text — and goldens recorded before
   // the block existed must keep replaying byte-identically.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "util/mem.hpp"
 
 namespace isomap {
 namespace {
@@ -29,6 +30,7 @@ auto observed_run(const char* protocol, const Scenario& scenario,
   obs::RunSummary summary = obs::make_run_summary(
       protocol, metrics, ledger_totals(ledger), wall_s,
       trace ? trace->events() - events_before : 0, telemetry);
+  summary.peak_rss_bytes = static_cast<double>(peak_rss_bytes());
   return std::make_tuple(std::move(result), std::move(ledger),
                          std::move(summary));
 }

@@ -27,11 +27,13 @@ Scenario test_scenario(std::uint64_t seed, double failures = 0.0) {
   return make_scenario(config);
 }
 
-/// Summary JSON with the timing-only fields removed: wall clock and the
-/// per-phase second histograms vary run to run even serially.
+/// Summary JSON with the machine-dependent fields removed: wall clock,
+/// the per-phase second histograms and the peak-RSS sample vary run to
+/// run even serially.
 std::string normalized_summary(obs::RunSummary summary) {
   summary.wall_s = 0.0;
   summary.phases.clear();
+  summary.peak_rss_bytes = 0.0;
   return summary.to_json().dump(2);
 }
 

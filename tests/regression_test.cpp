@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
+#include <tuple>
+#include <vector>
 
 #include "field/gaussian_field.hpp"
 #include "isomap/regression.hpp"
@@ -175,6 +178,82 @@ TEST_P(FitPlaneProperty, ResidualIsMinimal) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FitPlaneProperty,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// The SoA overloads feed the protocol's gradient hot loop; their contract
+// is *bitwise* agreement with the AoS path on the same sample sequence,
+// not merely numerical closeness — the golden capsules depend on it.
+
+std::tuple<std::vector<FieldSample>, std::vector<double>, std::vector<double>,
+           std::vector<double>>
+split_samples(int n, Rng& rng) {
+  std::vector<FieldSample> aos;
+  std::vector<double> xs, ys, vs;
+  for (int i = 0; i < n; ++i) {
+    const FieldSample s{{rng.uniform(-50, 50), rng.uniform(-50, 50)},
+                        rng.uniform(-10, 10)};
+    aos.push_back(s);
+    xs.push_back(s.pos.x);
+    ys.push_back(s.pos.y);
+    vs.push_back(s.value);
+  }
+  return {aos, xs, ys, vs};
+}
+
+TEST(FitPlaneSoA, StatsBitwiseIdenticalToAoS) {
+  Rng rng(71);
+  for (const int n : {3, 4, 7, 16, 33, 60}) {
+    const auto [aos, xs, ys, vs] = split_samples(n, rng);
+    const PlanePositionStats pa = plane_position_stats(aos);
+    const PlanePositionStats ps = plane_position_stats(xs, ys);
+    EXPECT_EQ(pa.n, ps.n);
+    EXPECT_EQ(pa.mean.x, ps.mean.x);
+    EXPECT_EQ(pa.mean.y, ps.mean.y);
+    EXPECT_EQ(pa.sx, ps.sx);
+    EXPECT_EQ(pa.sy, ps.sy);
+    EXPECT_EQ(pa.sxx, ps.sxx);
+    EXPECT_EQ(pa.sxy, ps.sxy);
+    EXPECT_EQ(pa.syy, ps.syy);
+    const PlaneValueStats va = plane_value_stats(aos, pa);
+    const PlaneValueStats vsoa = plane_value_stats(xs, ys, vs, ps);
+    EXPECT_EQ(va.mean_v, vsoa.mean_v);
+    EXPECT_EQ(va.sv, vsoa.sv);
+    EXPECT_EQ(va.sxv, vsoa.sxv);
+    EXPECT_EQ(va.syv, vsoa.syv);
+  }
+}
+
+TEST(FitPlaneSoA, FitBitwiseIdenticalToAoS) {
+  Rng rng(72);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 3 + static_cast<int>(rng.uniform_int(40));
+    const auto [aos, xs, ys, vs] = split_samples(n, rng);
+    double ops_a = 0.0, ops_s = 0.0;
+    const auto fit_a = fit_plane(aos, &ops_a);
+    const auto fit_s = fit_plane(xs, ys, vs, &ops_s);
+    ASSERT_EQ(fit_a.has_value(), fit_s.has_value()) << "trial " << trial;
+    EXPECT_EQ(ops_a, ops_s);
+    if (!fit_a) continue;
+    EXPECT_EQ(fit_a->c0, fit_s->c0) << "trial " << trial;
+    EXPECT_EQ(fit_a->c1, fit_s->c1) << "trial " << trial;
+    EXPECT_EQ(fit_a->c2, fit_s->c2) << "trial " << trial;
+  }
+}
+
+TEST(FitPlaneSoA, DegenerateCasesAgree) {
+  // Too few samples and collinear positions must fail on both paths.
+  EXPECT_FALSE(fit_plane(std::span<const double>{}, {}, {}).has_value());
+  const std::vector<double> one_x{1.0}, one_y{2.0}, one_v{3.0};
+  EXPECT_FALSE(fit_plane(std::span<const double>(one_x), one_y, one_v)
+                   .has_value());
+  std::vector<double> xs, ys, vs;
+  for (double x : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+    xs.push_back(x);
+    ys.push_back(2.0 * x);
+    vs.push_back(x);
+  }
+  EXPECT_FALSE(
+      fit_plane(std::span<const double>(xs), ys, vs).has_value());
+}
 
 }  // namespace
 }  // namespace isomap

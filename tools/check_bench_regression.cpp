@@ -33,8 +33,9 @@ namespace {
 
 bool is_timing_column(const std::string& header) {
   // Substring markers anywhere; unit markers only as suffixes so names
-  // like "adds" or "rooms" are not misclassified.
-  for (const std::string needle : {"wall", "time", "speedup"})
+  // like "adds" or "rooms" are not misclassified. "rss" marks memory
+  // columns, which are as machine-dependent as wall clock.
+  for (const std::string needle : {"wall", "time", "speedup", "rss"})
     if (header.find(needle) != std::string::npos) return true;
   for (const std::string suffix : {"_ms", "_us", "_ns", "_s", "ms"})
     if (header.size() >= suffix.size() &&
