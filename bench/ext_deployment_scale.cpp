@@ -10,12 +10,17 @@
 // Expectation: reports stay O(sqrt(n)) — the reports_per_sqrt_n column
 // is flat — per-node energy stays flat, and a full 40k-node round
 // simulates in seconds.
+// Every scale runs twice, pinned to 1 and to 4 threads, and the two runs
+// must be bitwise identical (counters, per-node ledger sums, map
+// geometry): the par_identical column is the check's outcome and is
+// gated, so a determinism break at deployment scale fails CI.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
 
 #include "bench/bench_common.hpp"
+#include "exec/exec.hpp"
 #include "util/mem.hpp"
 
 using namespace isomap;
@@ -29,6 +34,61 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Summary JSON with the machine-dependent fields zeroed (wall clock,
+/// phase histograms, RSS sample) — everything left must be bit-identical
+/// across thread counts.
+std::string normalized_summary(obs::RunSummary summary) {
+  summary.wall_s = 0.0;
+  summary.phases.clear();
+  summary.peak_rss_bytes = 0.0;
+  return summary.to_json().dump(2);
+}
+
+/// Hard bitwise-identity check between a 1-thread and a 4-thread run of
+/// the same scenario: counters, normalized summary, every per-node ledger
+/// sum, and the sink map's full geometry (Voronoi cells and isoline
+/// polylines per level). Any difference is a determinism-contract break —
+/// report it and fail the bench.
+bool runs_identical(int n, const IsoMapRun& a, const IsoMapRun& b) {
+  const auto fail = [n](const char* what) {
+    std::cerr << "[FAIL] n=" << n
+              << ": threads=1 vs threads=4 mismatch in " << what << "\n";
+    return false;
+  };
+  if (a.result.generated_reports != b.result.generated_reports ||
+      a.result.delivered_reports != b.result.delivered_reports ||
+      a.result.isoline_node_count != b.result.isoline_node_count)
+    return fail("report counters");
+  if (a.result.report_traffic_bytes != b.result.report_traffic_bytes ||
+      a.result.measurement_traffic_bytes != b.result.measurement_traffic_bytes)
+    return fail("traffic totals");
+  if (normalized_summary(a.summary) != normalized_summary(b.summary))
+    return fail("run summary");
+  for (int v = 0; v < n; ++v)
+    if (a.ledger.tx_bytes(v) != b.ledger.tx_bytes(v) ||
+        a.ledger.rx_bytes(v) != b.ledger.rx_bytes(v) ||
+        a.ledger.ops(v) != b.ledger.ops(v))
+      return fail("per-node ledger");
+  const ContourMap& ma = a.result.map;
+  const ContourMap& mb = b.result.map;
+  if (ma.level_count() != mb.level_count()) return fail("level count");
+  for (int k = 0; k < ma.level_count(); ++k) {
+    const VoronoiDiagram& va = ma.region(k).voronoi();
+    const VoronoiDiagram& vb = mb.region(k).voronoi();
+    if (va.size() != vb.size()) return fail("voronoi size");
+    for (std::size_t i = 0; i < va.size(); ++i)
+      if (va.cell(i).vertices != vb.cell(i).vertices ||
+          va.cell(i).edge_tags != vb.cell(i).edge_tags)
+        return fail("voronoi cells");
+    if (ma.isolines(k).size() != mb.isolines(k).size())
+      return fail("isoline count");
+    for (std::size_t p = 0; p < ma.isolines(k).size(); ++p)
+      if (ma.isolines(k)[p].points() != mb.isolines(k)[p].points())
+        return fail("isoline points");
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -38,10 +98,16 @@ int main(int argc, char** argv) {
              "O(sqrt(n)) reports and flat per-node energy at full scale");
 
   const Mica2Model energy;
+  // round_wall_s times the protocol round pinned to one thread (kernel
+  // wins only — comparable across machines); round_wall_t4_s the same
+  // round at ISOMAP_THREADS=4. par_identical is the bitwise-identity
+  // self-check between the two runs (1 = every counter, ledger sum and
+  // map vertex matched) — a gated column, so CI fails if determinism
+  // breaks at scale.
   Table table({"nodes", "field", "isoline_nodes", "sink_reports",
                "reports_per_sqrt_n", "traffic_KB", "node_energy_uJ",
-               "accuracy_pct", "peak_rss_MB", "setup_wall_s",
-               "round_wall_s"});
+               "accuracy_pct", "par_identical", "peak_rss_MB",
+               "setup_wall_s", "round_wall_s", "round_wall_t4_s"});
   std::vector<int> scales;
   for (const int n : {2500, 10000, 22500, 40000, 100000, 1000000})
     if (n <= max_nodes) scales.push_back(n);
@@ -68,9 +134,17 @@ int main(int argc, char** argv) {
 
     IsoMapOptions options;
     options.query = scaling_query();
+    exec::set_thread_count(1);
     const auto round_start = std::chrono::steady_clock::now();
     const IsoMapRun run = run_isomap(s, options);
     const double round_wall = seconds_since(round_start);
+    exec::set_thread_count(4);
+    const auto round4_start = std::chrono::steady_clock::now();
+    const IsoMapRun run4 = run_isomap(s, options);
+    const double round4_wall = seconds_since(round4_start);
+    exec::set_thread_count(0);
+    const bool identical = runs_identical(n, run, run4);
+    if (!identical) ok = false;
     const double accuracy =
         mapping_accuracy(run.result.map, s.field, options.query.isolevels(),
                          80) *
@@ -89,9 +163,11 @@ int main(int argc, char** argv) {
         .cell(run.result.report_traffic_bytes / 1024.0, 1)
         .cell(energy.mean_node_energy_j(run.ledger) * 1e6, 2)
         .cell(accuracy, 1)
+        .cell(identical ? 1 : 0)
         .cell(run.summary.peak_rss_bytes / (1024.0 * 1024.0), 1)
         .cell(setup_wall, 2)
-        .cell(round_wall, 2);
+        .cell(round_wall, 2)
+        .cell(round4_wall, 2);
 
     // Self-checks: a silent degenerate round (no isoline nodes, nothing
     // delivered, garbage map) would otherwise still print a plausible

@@ -349,9 +349,121 @@ int main() {
         .cell(aos_ms / soa_ms, 1);
   }
 
+  // Fused SoA fit: the split span kernels (plane_position_stats +
+  // plane_value_stats, four passes over the arrays — retained as the
+  // scalar oracle) vs plane_stats_batch's two fused branch-free passes.
+  // Fusing interleaves independent accumulator chains without touching
+  // any chain's addend order, so the fitted plane must be — and is
+  // checked to be — bit-identical before timing.
+  for (const int n : {400, 2500, 10000}) {
+    const Scenario s = harbor_scenario(n, kBenchSeed);
+    std::vector<std::vector<double>> all_xs, all_ys, all_vs;
+    for (int i = 0; i < s.graph.size(); ++i) {
+      if (!s.graph.alive(i)) continue;
+      std::vector<double> xs, ys, vs;
+      const auto push = [&](int v) {
+        const Vec2 p = s.deployment.node(v).reported_pos();
+        xs.push_back(p.x);
+        ys.push_back(p.y);
+        vs.push_back(s.readings[static_cast<std::size_t>(v)]);
+      };
+      push(i);
+      for (int nb : s.graph.neighbour_span(i)) push(nb);
+      all_xs.push_back(std::move(xs));
+      all_ys.push_back(std::move(ys));
+      all_vs.push_back(std::move(vs));
+    }
+    const auto split_fit = [](std::span<const double> xs,
+                              std::span<const double> ys,
+                              std::span<const double> vs) {
+      if (xs.size() < 3) return std::optional<PlaneFit>();
+      const PlanePositionStats pos = plane_position_stats(xs, ys);
+      return solve_plane(pos, plane_value_stats(xs, ys, vs, pos));
+    };
+    for (std::size_t i = 0; i < all_xs.size(); ++i) {
+      const auto a = split_fit(all_xs[i], all_ys[i], all_vs[i]);
+      const auto b = fit_plane_soa(all_xs[i], all_ys[i], all_vs[i]);
+      const bool same = a.has_value() == b.has_value() &&
+                        (!a || (a->c0 == b->c0 && a->c1 == b->c1 &&
+                                a->c2 == b->c2));
+      if (!same) {
+        std::cerr << "[micro_hotpaths] split/fused fit mismatch\n";
+        return 1;
+      }
+    }
+    volatile double sink = 0.0;
+    const double split_ms = best_ms(5, [&] {
+      double total = 0.0;
+      for (std::size_t i = 0; i < all_xs.size(); ++i)
+        if (const auto fit = split_fit(all_xs[i], all_ys[i], all_vs[i]))
+          total += fit->c1;
+      sink = total;
+    });
+    const double fused_ms = best_ms(5, [&] {
+      double total = 0.0;
+      for (std::size_t i = 0; i < all_xs.size(); ++i)
+        if (const auto fit = fit_plane_soa(all_xs[i], all_ys[i], all_vs[i]))
+          total += fit->c1;
+      sink = total;
+    });
+    table.row()
+        .cell("fit_soa_batch")
+        .cell(n)
+        .cell(split_ms, 2)
+        .cell(fused_ms, 2)
+        .cell(split_ms / fused_ms, 1);
+  }
+
+  // Batch point-in-region: the scalar level_index walk (retained oracle,
+  // one region-stack descent with branchy box rejects per point) vs the
+  // level_index_batch sieve feeding LevelRegion::contains_batch. Identity
+  // over every grid point first — the batch path must reproduce the
+  // scalar classification exactly.
+  {
+    const Scenario s = harbor_scenario(2500, kBenchSeed);
+    const ContourMap map = run_isomap(s, 4).result.map;
+    const FieldBounds fb = s.field.bounds();
+    for (const int res : {64, 128, 256}) {
+      std::vector<Vec2> pts;
+      pts.reserve(static_cast<std::size_t>(res) * res);
+      for (int iy = 0; iy < res; ++iy)
+        for (int ix = 0; ix < res; ++ix)
+          pts.push_back({fb.x0 + fb.width() * (ix + 0.5) / res,
+                         fb.y0 + fb.height() * (iy + 0.5) / res});
+      std::vector<int> batch(pts.size());
+      map.level_index_batch(pts, batch);
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (batch[i] != map.level_index(pts[i])) {
+          std::cerr << "[micro_hotpaths] point_in_region_batch mismatch at "
+                    << i << "\n";
+          return 1;
+        }
+      }
+      volatile long long sink = 0;
+      const double scalar_ms = best_ms(3, [&] {
+        long long total = 0;
+        for (const Vec2 p : pts) total += map.level_index(p);
+        sink = total;
+      });
+      const double batch_ms = best_ms(3, [&] {
+        map.level_index_batch(pts, batch);
+        long long total = 0;
+        for (const int lvl : batch) total += lvl;
+        sink = total;
+      });
+      table.row()
+          .cell("point_in_region_batch")
+          .cell(res)
+          .cell(scalar_ms, 2)
+          .cell(batch_ms, 2)
+          .cell(scalar_ms / batch_ms, 1);
+    }
+  }
+
   // Marching squares: per-cell corner re-evaluation + eager edge
   // interpolation (reference) vs the two-row value cache with lazy
-  // crossings. Identity-checked on the full polyline set per isolevel.
+  // crossings and per-row threshold bytes. Identity-checked on the full
+  // polyline set per isolevel.
   {
     const Scenario s = harbor_scenario(2500, kBenchSeed);
     const FieldBounds fb = s.field.bounds();

@@ -43,6 +43,22 @@ LevelMap LevelMap::rasterize(FieldBounds bounds, int nx, int ny,
   return map;
 }
 
+LevelMap LevelMap::rasterize_rows(FieldBounds bounds, int nx, int ny,
+                                  const RowClassifier& classify) {
+  LevelMap map(bounds, nx, ny);
+  // Same contract as rasterize: rows across the pool, each row writing
+  // only its own pixels (the row span aliases the map's backing array).
+  exec::parallel_for(static_cast<std::size_t>(ny), [&](std::size_t row) {
+    const int iy = static_cast<int>(row);
+    std::vector<Vec2> centers(static_cast<std::size_t>(nx));
+    for (int ix = 0; ix < nx; ++ix)
+      centers[static_cast<std::size_t>(ix)] = map.pixel_center(ix, iy);
+    classify(centers,
+             {&map.at(0, iy), static_cast<std::size_t>(nx)});
+  });
+  return map;
+}
+
 LevelMap LevelMap::ground_truth(const ScalarField& field,
                                 const std::vector<double>& isolevels, int nx,
                                 int ny) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "field/scalar_field.hpp"
@@ -20,6 +21,19 @@ class LevelMap {
   /// Rasterize a classifier: `classify(p)` returns the level index at p.
   static LevelMap rasterize(FieldBounds bounds, int nx, int ny,
                             const std::function<int(Vec2)>& classify);
+
+  /// Row-batched classifier: called once per pixel row with the nx pixel
+  /// centres and the row's output slots. One indirect call per row
+  /// instead of one per pixel, and the classifier sees a contiguous
+  /// batch it can process with its own vector kernels (e.g.
+  /// ContourMap::level_index_batch).
+  using RowClassifier =
+      std::function<void(std::span<const Vec2>, std::span<int>)>;
+
+  /// Rasterize a row-batched classifier; same parallel-row scan and
+  /// bit-identical output for classifiers that agree pointwise.
+  static LevelMap rasterize_rows(FieldBounds bounds, int nx, int ny,
+                                 const RowClassifier& classify);
 
   /// Ground truth from a scalar field: the level index of a point is the
   /// number of isolevels at or below its field value.

@@ -19,9 +19,14 @@ double mapping_accuracy(const ContourMap& map, const ScalarField& field,
                         int resolution) {
   const LevelMap truth =
       LevelMap::ground_truth(field, isolevels, resolution, resolution);
-  const LevelMap estimate =
-      LevelMap::rasterize(field.bounds(), resolution, resolution,
-                          [&](Vec2 p) { return map.level_index(p); });
+  // Row-batched: one level_index_batch call per pixel row (point-in-
+  // region sieve, no per-pixel std::function) — pointwise identical to
+  // the scalar level_index walk, so the raster is bit-for-bit the same.
+  const LevelMap estimate = LevelMap::rasterize_rows(
+      field.bounds(), resolution, resolution,
+      [&](std::span<const Vec2> pts, std::span<int> out) {
+        map.level_index_batch(pts, out);
+      });
   return estimate.accuracy_against(truth);
 }
 
@@ -51,9 +56,11 @@ std::vector<double> level_region_iou(const ContourMap& map,
                                      int resolution) {
   const LevelMap truth =
       LevelMap::ground_truth(field, isolevels, resolution, resolution);
-  const LevelMap estimate =
-      LevelMap::rasterize(field.bounds(), resolution, resolution,
-                          [&](Vec2 p) { return map.level_index(p); });
+  const LevelMap estimate = LevelMap::rasterize_rows(
+      field.bounds(), resolution, resolution,
+      [&](std::span<const Vec2> pts, std::span<int> out) {
+        map.level_index_batch(pts, out);
+      });
   const auto levels = static_cast<int>(isolevels.size());
   std::vector<long long> inter(static_cast<std::size_t>(levels), 0);
   std::vector<long long> uni(static_cast<std::size_t>(levels), 0);

@@ -175,4 +175,12 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   pool_for(threads).run(n, fn, chunk);
 }
 
+void parallel_for_blocks(
+    const TileBlocks& blocks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  parallel_for(blocks.count(), [&](std::size_t b) {
+    fn(b, blocks.begin(b), blocks.end(b));
+  });
+}
+
 }  // namespace isomap::exec

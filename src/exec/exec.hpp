@@ -6,6 +6,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "geometry/tile_grid.hpp"
 #include "obs/obs.hpp"
 
 namespace isomap::exec {
@@ -46,6 +47,18 @@ bool on_worker_thread();
 /// rethrown here (remaining scheduled chunks are abandoned). Nested calls
 /// from inside a region run inline, so fn may itself use parallel_for.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Tile-blocked variant: invoke fn(b, begin, end) for every block of the
+/// partition, distributed over the pool. The partition is a pure function
+/// of (blocks.n, blocks.block), so per-block outputs merged in block
+/// order reproduce the serial item order at any thread count. Bodies are
+/// subject to the same contract as parallel_for — and note the calling
+/// thread participates with its obs::Context still installed, so a body
+/// that emits metrics/traces would attribute them nondeterministically:
+/// keep blocks pure and do all emission in the caller's ordered merge.
+void parallel_for_blocks(
+    const TileBlocks& blocks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
 /// Run `k` independent trials (1-based, matching the bench harness's
 /// "seeds 1..k" convention) and return their results in trial order.

@@ -33,28 +33,45 @@ std::vector<Polyline> marching_squares(const SampleGrid& grid,
   // unit-stride array loads. The cached value is the same double the
   // repeated evaluation produced (sampling is deterministic), so every
   // mask, crossing and emitted segment is bit-identical to the reference.
+  //
+  // Per-row threshold bytes: ge_lo/ge_hi[ix] = (row value >= isolevel),
+  // computed in their own branch-free passes the compiler vectorizes
+  // (packed double compares), so the cell loop assembles each mask from
+  // four byte loads instead of four double compares. The comparison per
+  // corner is the very one the reference performs — same operands, same
+  // predicate — so every mask is identical.
   std::vector<double> row_lo(static_cast<std::size_t>(grid.nx));
   std::vector<double> row_hi(static_cast<std::size_t>(grid.nx));
+  std::vector<unsigned char> ge_lo(static_cast<std::size_t>(grid.nx));
+  std::vector<unsigned char> ge_hi(static_cast<std::size_t>(grid.nx));
+  const auto nxs = static_cast<std::size_t>(grid.nx);
   for (int ix = 0; ix < grid.nx; ++ix)
     row_lo[static_cast<std::size_t>(ix)] = grid.value(ix, 0);
+  for (std::size_t i = 0; i < nxs; ++i)
+    ge_lo[i] = static_cast<unsigned char>(row_lo[i] >= isolevel);
 
   for (int iy = 0; iy + 1 < grid.ny; ++iy) {
-    if (iy > 0) row_lo.swap(row_hi);  // Last row's top is this row's bottom.
+    if (iy > 0) {
+      row_lo.swap(row_hi);  // Last row's top is this row's bottom.
+      ge_lo.swap(ge_hi);
+    }
     for (int ix = 0; ix < grid.nx; ++ix)
       row_hi[static_cast<std::size_t>(ix)] = grid.value(ix, iy + 1);
+    for (std::size_t i = 0; i < nxs; ++i)
+      ge_hi[i] = static_cast<unsigned char>(row_hi[i] >= isolevel);
 
     for (int ix = 0; ix + 1 < grid.nx; ++ix) {
       // Corner order: 0=(ix,iy) 1=(ix+1,iy) 2=(ix+1,iy+1) 3=(ix,iy+1).
-      const double v0 = row_lo[static_cast<std::size_t>(ix)];
-      const double v1 = row_lo[static_cast<std::size_t>(ix) + 1];
-      const double v2 = row_hi[static_cast<std::size_t>(ix) + 1];
-      const double v3 = row_hi[static_cast<std::size_t>(ix)];
+      const auto u = static_cast<std::size_t>(ix);
+      const double v0 = row_lo[u];
+      const double v1 = row_lo[u + 1];
+      const double v2 = row_hi[u + 1];
+      const double v3 = row_hi[u];
 
-      int mask = 0;
-      if (v0 >= isolevel) mask |= 1;
-      if (v1 >= isolevel) mask |= 2;
-      if (v2 >= isolevel) mask |= 4;
-      if (v3 >= isolevel) mask |= 8;
+      const int mask = static_cast<int>(ge_lo[u]) |
+                       (static_cast<int>(ge_lo[u + 1]) << 1) |
+                       (static_cast<int>(ge_hi[u + 1]) << 2) |
+                       (static_cast<int>(ge_hi[u]) << 3);
       if (mask == 0 || mask == 15) continue;
 
       const Vec2 p0 = grid.world(ix, iy);

@@ -32,6 +32,25 @@ struct TileLayout {
   int tile_index(int col, int row) const { return row * cols + col; }
 };
 
+/// 1-D tile partition of a flat index range [0, n): the analogue of this
+/// file's 2-D TileLayout for the protocol's flat node-id-ordered tables.
+/// Block b covers [b*block, min(n, (b+1)*block)) — a pure function of
+/// (n, block), never of the thread count — so workers that each fill one
+/// block's slots, merged serially in block order, reproduce the serial
+/// item order bit for bit at any ISOMAP_THREADS. The last block may be
+/// short; an empty range has zero blocks.
+struct TileBlocks {
+  std::size_t n = 0;      ///< Items partitioned.
+  std::size_t block = 1;  ///< Items per block (>= 1).
+
+  std::size_t count() const { return block == 0 ? 0 : (n + block - 1) / block; }
+  std::size_t begin(std::size_t b) const { return b * block; }
+  std::size_t end(std::size_t b) const {
+    const std::size_t e = (b + 1) * block;
+    return e < n ? e : n;
+  }
+};
+
 /// CSR-bucketed uniform grid over a fixed point set: one flat item array
 /// plus per-tile offsets, instead of a vector-of-vectors with one heap
 /// allocation per occupied tile. Within a tile, items keep ascending

@@ -434,30 +434,72 @@ RoundResult ContinuousMapper::round(const std::vector<double>& readings,
     const int dirty_nodes = mark_dirty(readings);
     obs::count("continuous.dirty_nodes", static_cast<double>(dirty_nodes));
     const double eps = query.epsilon();
-    // Re-evaluate Definition 3.1 only at the dirty nodes, maintaining the
-    // persistent selected-node list, the per-node op charges and the
-    // candidate total as they change — clean nodes cost nothing here.
-    for (const int v : dirty_list_) {
-      if (!graph_->alive(v)) continue;
-      const auto u = static_cast<std::size_t>(v);
-      SelectionCache& sc = selection_cache_[u];
-      const bool was_selected = !sc.levels.empty();
-      candidates_total_ -= sc.candidates;
-      const NodeSelectionResult fresh = evaluate_node_selection(
-          *graph_, readings, v, isolevels_, eps, admitted_scratch_);
-      sc.levels.assign(admitted_scratch_.begin(), admitted_scratch_.end());
-      sc.ops = fresh.ops;
-      sc.candidates = fresh.candidates;
-      sel_ops_[u] = fresh.ops;
-      candidates_total_ += sc.candidates;
-      const bool now_selected = !sc.levels.empty();
-      if (now_selected != was_selected) {
-        const auto it = std::lower_bound(selected_nodes_.begin(),
-                                         selected_nodes_.end(), v);
-        if (now_selected)
-          selected_nodes_.insert(it, v);
-        else
-          selected_nodes_.erase(it);
+    // Re-evaluate Definition 3.1 only at the dirty nodes — across the
+    // exec pool over tile blocks of the (ascending) dirty list, since
+    // evaluate_node_selection is pure. Each block records its nodes'
+    // results plus the concatenated admitted level indices; the serial
+    // merge below then updates the persistent selected-node list, the
+    // per-node op charges and the candidate total in dirty-list order,
+    // exactly as the serial loop did — clean nodes cost nothing here.
+    struct DirtyEval {
+      double ops = 0.0;
+      int candidates = 0;
+      std::uint32_t admitted_count = 0;
+    };
+    struct DirtyBlock {
+      std::vector<DirtyEval> evals;  ///< One per dirty node of the block.
+      std::vector<int> admitted;     ///< Concatenated admitted indices.
+    };
+    const TileBlocks dirty_blocks{dirty_list_.size(), 1024};
+    std::vector<DirtyBlock> per_block(dirty_blocks.count());
+    exec::parallel_for_blocks(
+        dirty_blocks, [&](std::size_t b, std::size_t begin, std::size_t end) {
+          DirtyBlock& out = per_block[b];
+          out.evals.reserve(end - begin);
+          thread_local std::vector<int> admitted;
+          for (std::size_t i = begin; i < end; ++i) {
+            const int v = dirty_list_[i];
+            DirtyEval ev;
+            if (graph_->alive(v)) {
+              const NodeSelectionResult fresh = evaluate_node_selection(
+                  *graph_, readings, v, isolevels_, eps, admitted);
+              ev.ops = fresh.ops;
+              ev.candidates = fresh.candidates;
+              ev.admitted_count = static_cast<std::uint32_t>(admitted.size());
+              out.admitted.insert(out.admitted.end(), admitted.begin(),
+                                  admitted.end());
+            }
+            out.evals.push_back(ev);
+          }
+        });
+    for (std::size_t b = 0; b < per_block.size(); ++b) {
+      const DirtyBlock& blk = per_block[b];
+      std::size_t off = 0;
+      for (std::size_t j = 0; j < blk.evals.size(); ++j) {
+        const int v = dirty_list_[dirty_blocks.begin(b) + j];
+        const DirtyEval& ev = blk.evals[j];
+        if (!graph_->alive(v)) continue;
+        const auto u = static_cast<std::size_t>(v);
+        SelectionCache& sc = selection_cache_[u];
+        const bool was_selected = !sc.levels.empty();
+        candidates_total_ -= sc.candidates;
+        sc.levels.assign(blk.admitted.begin() + static_cast<std::ptrdiff_t>(off),
+                         blk.admitted.begin() +
+                             static_cast<std::ptrdiff_t>(off + ev.admitted_count));
+        off += ev.admitted_count;
+        sc.ops = ev.ops;
+        sc.candidates = ev.candidates;
+        sel_ops_[u] = ev.ops;
+        candidates_total_ += sc.candidates;
+        const bool now_selected = !sc.levels.empty();
+        if (now_selected != was_selected) {
+          const auto it = std::lower_bound(selected_nodes_.begin(),
+                                           selected_nodes_.end(), v);
+          if (now_selected)
+            selected_nodes_.insert(it, v);
+          else
+            selected_nodes_.erase(it);
+        }
       }
     }
     // Emit this round's selection — ascending (node, level), exactly the

@@ -287,7 +287,6 @@ class ContinuousMapper {
   std::vector<std::size_t> now_keys_;  ///< Slots written this round.
   std::vector<int> grad_round_;   ///< Per-node round stamp of grad_value_.
   std::vector<Vec2> grad_value_;  ///< Per-round gradient memo.
-  std::vector<int> admitted_scratch_;
   /// Per-level report grouping scratch for build_map_incremental.
   std::vector<std::vector<IsolineReport>> level_scratch_;
 };

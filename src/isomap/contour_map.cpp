@@ -172,6 +172,42 @@ bool LevelRegion::contains_rules(Vec2 q) const {
   return false;
 }
 
+void LevelRegion::contains_batch(std::span<const Vec2> qs,
+                                 std::span<unsigned char> out) const {
+  if (reports_.empty()) {
+    std::fill(out.begin(), out.end(), static_cast<unsigned char>(0));
+    return;
+  }
+  if (mode_ == RegulationMode::kBlended) {
+    for (std::size_t k = 0; k < qs.size(); ++k)
+      out[k] = contains_blended(qs[k]) ? 1 : 0;
+    return;
+  }
+  for (std::size_t k = 0; k < qs.size(); ++k) {
+    const Vec2 q = qs[k];
+    unsigned char hit = 0;
+    const int site = voronoi_.nearest_site(q);
+    if (site >= 0) {
+      const auto& pieces = pieces_[static_cast<std::size_t>(site)];
+      const auto& boxes = piece_boxes_[static_cast<std::size_t>(site)];
+      for (std::size_t i = 0; i < pieces.size(); ++i) {
+        // Same exact inflated-box predicate as contains_rules, evaluated
+        // with bitwise & so all four bounds compare without intermediate
+        // branches — one test per piece instead of up to four.
+        const PieceBox& b = boxes[i];
+        const bool in_box =
+            static_cast<int>(q.x >= b.x0) & static_cast<int>(q.x <= b.x1) &
+            static_cast<int>(q.y >= b.y0) & static_cast<int>(q.y <= b.y1);
+        if (in_box && pieces[i].contains(q, 1e-9)) {
+          hit = 1;
+          break;
+        }
+      }
+    }
+    out[k] = hit;
+  }
+}
+
 bool LevelRegion::contains_blended(Vec2 q) const {
   // Inverse-square-distance blend of the two nearest reports' signed
   // half-plane tests; reduces to the plain test with one report.
@@ -249,6 +285,42 @@ ContourMap::ContourMap(FieldBounds bounds, std::vector<LevelRegion> regions)
 ContourMap::ContourMap(FieldBounds bounds,
                        std::vector<std::shared_ptr<const LevelRegion>> regions)
     : bounds_(bounds), regions_(std::move(regions)) {}
+
+void ContourMap::level_index_batch(std::span<const Vec2> qs,
+                                   std::span<int> out) const {
+  const std::size_t m = qs.size();
+  std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(m), 0);
+  // Active-point sieve over the level stack: a point leaves the sieve at
+  // the first supported region that rejects it (the scalar walk's break).
+  // pending[i] counts transparent empty levels seen since the point's
+  // last supported containment, exactly mirroring the scalar counter.
+  std::vector<std::size_t> active(m);
+  for (std::size_t i = 0; i < m; ++i) active[i] = i;
+  std::vector<int> pending(m, 0);
+  std::vector<Vec2> pts(m);
+  std::vector<unsigned char> inside(m);
+  for (const auto& region : regions_) {
+    if (active.empty()) break;
+    if (!region->has_reports()) {
+      for (const std::size_t i : active) ++pending[i];
+      continue;
+    }
+    pts.resize(active.size());
+    inside.resize(active.size());
+    for (std::size_t a = 0; a < active.size(); ++a) pts[a] = qs[active[a]];
+    region->contains_batch({pts.data(), active.size()},
+                           {inside.data(), active.size()});
+    std::size_t kept = 0;
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const std::size_t i = active[a];
+      if (!inside[a]) continue;  // Scalar break: the point is finished.
+      out[i] += pending[i] + 1;
+      pending[i] = 0;
+      active[kept++] = i;
+    }
+    active.resize(kept);
+  }
+}
 
 int ContourMap::level_index(Vec2 q) const {
   // Walk the stack from the lowest isolevel up. A level with no reports

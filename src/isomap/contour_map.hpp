@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "field/scalar_field.hpp"
@@ -43,6 +44,15 @@ class LevelRegion {
 
   /// True if q lies in the reconstructed contour region.
   bool contains(Vec2 q) const;
+
+  /// Batch membership: out[i] = contains(qs[i]) for every i, with the
+  /// per-piece inflated-box pre-reject evaluated branch-free (the four
+  /// comparisons folded bitwise instead of short-circuited) so the hot
+  /// rasterization loop takes one well-predicted branch per piece. The
+  /// per-point decision sequence is identical to contains(), so the
+  /// output bytes match the scalar oracle bit for bit.
+  void contains_batch(std::span<const Vec2> qs,
+                      std::span<unsigned char> out) const;
 
   /// Boundary chains of the region, excluding portions on the field
   /// border; these are the estimated isolines compared against the ground
@@ -104,6 +114,14 @@ class ContourMap {
   /// crossed the field): they count exactly when a higher, supported
   /// level contains q.
   int level_index(Vec2 q) const;
+
+  /// Batch variant: out[i] = level_index(qs[i]) for every i. Walks the
+  /// level stack once per *batch* instead of once per point, narrowing an
+  /// active-point list as lower levels reject points, and resolves each
+  /// level's memberships through LevelRegion::contains_batch. Replicates
+  /// level_index's early-break and transparent-empty-level bookkeeping
+  /// per point exactly, so every output equals the scalar call's.
+  void level_index_batch(std::span<const Vec2> qs, std::span<int> out) const;
 
   /// Estimated isolines of level k (empty when the level had no reports).
   const std::vector<Polyline>& isolines(int k) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/exec.hpp"
 #include "obs/obs.hpp"
 
 namespace isomap {
@@ -19,6 +20,64 @@ void trace_selection(obs::TraceSink* sink, int node, double isolevel) {
   event.node = node;
   event.isolevel = isolevel;
   sink->emit(event);
+}
+
+/// Tile-block size of the parallel selection sweep. Per-node work is
+/// O(levels + deg), so blocks this size amortise chunk handout while a
+/// 10^6-node sweep still splits into ~500 blocks of parallel slack.
+constexpr std::size_t kSelectTileBlock = 2048;
+
+/// One tile block's selection output, filled by a pool worker. Entries
+/// are in ascending node order within the block; blocks concatenated in
+/// block order reproduce the serial sweep's entry order exactly.
+struct SelectionBlock {
+  std::vector<SelectionEntry> entries;
+  std::size_t candidates = 0;
+};
+
+/// Shared parallel driver for both selection variants: evaluate(node,
+/// out_entries) must be pure (no obs, no shared writes — it runs on pool
+/// workers) and return the node's modelled ops; ops_per_node slots are
+/// disjoint per node. The serial tail merges in block order: per-entry
+/// trace events, the candidate total and the final entry vector come out
+/// identical to the old single-thread sweep at any thread count.
+template <typename EvaluateFn>
+std::vector<SelectionEntry> select_over_blocks(
+    const CommGraph& graph, std::vector<double>* ops_per_node,
+    const EvaluateFn& evaluate) {
+  const auto n = static_cast<std::size_t>(graph.size());
+  if (ops_per_node) ops_per_node->assign(n, 0.0);
+
+  const TileBlocks blocks{n, kSelectTileBlock};
+  std::vector<SelectionBlock> per_block(blocks.count());
+  exec::parallel_for_blocks(
+      blocks, [&](std::size_t b, std::size_t begin, std::size_t end) {
+        SelectionBlock& out = per_block[b];
+        for (std::size_t u = begin; u < end; ++u) {
+          const int node = static_cast<int>(u);
+          if (!graph.alive(node)) continue;
+          double ops = 0.0;
+          out.candidates += evaluate(node, out.entries, ops);
+          if (ops_per_node) (*ops_per_node)[u] = ops;
+        }
+      });
+
+  std::size_t total = 0;
+  for (const SelectionBlock& blk : per_block) total += blk.entries.size();
+  std::vector<SelectionEntry> selected;
+  selected.reserve(total);
+  obs::TraceSink* const sink = obs::trace();
+  std::size_t candidates = 0;
+  for (const SelectionBlock& blk : per_block) {
+    candidates += blk.candidates;
+    for (const SelectionEntry& e : blk.entries) {
+      selected.push_back(e);
+      trace_selection(sink, e.node, e.isolevel);
+    }
+  }
+  if (candidates > 0)
+    obs::count("select.candidates", static_cast<double>(candidates));
+  return selected;
 }
 
 }  // namespace
@@ -88,54 +147,46 @@ std::vector<SelectionEntry> select_isoline_nodes_adaptive(
     const std::vector<double>& readings, const ContourQuery& query,
     double strip_width, std::vector<double>* ops_per_node) {
   const auto levels = query.isolevels();
-  std::vector<SelectionEntry> selected;
-  obs::TraceSink* const sink = obs::trace();
-  std::size_t candidates = 0;
-  if (ops_per_node)
-    ops_per_node->assign(static_cast<std::size_t>(graph.size()), 0.0);
+  return select_over_blocks(
+      graph, ops_per_node,
+      [&](int node, std::vector<SelectionEntry>& entries,
+          double& out_ops) -> std::size_t {
+        const double v = readings[static_cast<std::size_t>(node)];
+        const Vec2 pos = deployment.node(node).pos;
 
-  for (int node = 0; node < graph.size(); ++node) {
-    if (!graph.alive(node)) continue;
-    const double v = readings[static_cast<std::size_t>(node)];
-    const Vec2 pos = deployment.node(node).pos;
-
-    // Local slope estimate from the steepest 1-hop difference.
-    double slope = 0.0;
-    double ops = 0.0;
-    for (int nb : graph.neighbour_span(node)) {
-      ops += 4.0;
-      const double dist = pos.distance_to(deployment.node(nb).pos);
-      if (dist <= 1e-9) continue;
-      slope = std::max(
-          slope,
-          std::abs(readings[static_cast<std::size_t>(nb)] - v) / dist);
-    }
-    const double eps = slope > 0.0 ? 0.5 * strip_width * slope
-                                   : query.epsilon();
-
-    ops += static_cast<double>(levels.size());
-    for (double lambda : levels) {
-      if (!is_candidate(v, lambda, eps)) continue;
-      ++candidates;
-      bool crossing = false;
-      for (int nb : graph.neighbour_span(node)) {
-        ops += 2.0;
-        const double nv = readings[static_cast<std::size_t>(nb)];
-        if ((v < lambda && lambda < nv) || (nv < lambda && lambda < v)) {
-          crossing = true;
-          break;
+        // Local slope estimate from the steepest 1-hop difference.
+        double slope = 0.0;
+        double ops = 0.0;
+        for (int nb : graph.neighbour_span(node)) {
+          ops += 4.0;
+          const double dist = pos.distance_to(deployment.node(nb).pos);
+          if (dist <= 1e-9) continue;
+          slope = std::max(
+              slope,
+              std::abs(readings[static_cast<std::size_t>(nb)] - v) / dist);
         }
-      }
-      if (crossing) {
-        selected.push_back({node, lambda});
-        trace_selection(sink, node, lambda);
-      }
-    }
-    if (ops_per_node) (*ops_per_node)[static_cast<std::size_t>(node)] = ops;
-  }
-  if (candidates > 0)
-    obs::count("select.candidates", static_cast<double>(candidates));
-  return selected;
+        const double eps = slope > 0.0 ? 0.5 * strip_width * slope
+                                       : query.epsilon();
+
+        ops += static_cast<double>(levels.size());
+        std::size_t candidates = 0;
+        for (double lambda : levels) {
+          if (!is_candidate(v, lambda, eps)) continue;
+          ++candidates;
+          bool crossing = false;
+          for (int nb : graph.neighbour_span(node)) {
+            ops += 2.0;
+            const double nv = readings[static_cast<std::size_t>(nb)];
+            if ((v < lambda && lambda < nv) || (nv < lambda && lambda < v)) {
+              crossing = true;
+              break;
+            }
+          }
+          if (crossing) entries.push_back({node, lambda});
+        }
+        out_ops = ops;
+        return candidates;
+      });
 }
 
 std::vector<SelectionEntry> select_isoline_nodes(
@@ -143,30 +194,23 @@ std::vector<SelectionEntry> select_isoline_nodes(
     const ContourQuery& query, std::vector<double>* ops_per_node) {
   const auto levels = query.isolevels();
   const double eps = query.epsilon();
-  std::vector<SelectionEntry> selected;
-  obs::TraceSink* const sink = obs::trace();
-  std::size_t candidates = 0;
-
-  if (ops_per_node)
-    ops_per_node->assign(static_cast<std::size_t>(graph.size()), 0.0);
-
-  std::vector<int> admitted;
-  for (int node = 0; node < graph.size(); ++node) {
-    if (!graph.alive(node)) continue;
-    const NodeSelectionResult result =
-        evaluate_node_selection(graph, readings, node, levels, eps, admitted);
-    candidates += static_cast<std::size_t>(result.candidates);
-    for (int idx : admitted) {
-      const double lambda = levels[static_cast<std::size_t>(idx)];
-      selected.push_back({node, lambda});
-      trace_selection(sink, node, lambda);
-    }
-    if (ops_per_node)
-      (*ops_per_node)[static_cast<std::size_t>(node)] = result.ops;
-  }
-  if (candidates > 0)
-    obs::count("select.candidates", static_cast<double>(candidates));
-  return selected;
+  // One admitted-index scratch per block, not per node: the driver calls
+  // the evaluator from a single worker per block, but different blocks
+  // run concurrently, so the scratch must live inside the closure's
+  // per-call frame. thread_local keeps it allocation-free across nodes
+  // while staying private to each pool thread.
+  return select_over_blocks(
+      graph, ops_per_node,
+      [&](int node, std::vector<SelectionEntry>& entries,
+          double& out_ops) -> std::size_t {
+        thread_local std::vector<int> admitted;
+        const NodeSelectionResult result = evaluate_node_selection(
+            graph, readings, node, levels, eps, admitted);
+        for (int idx : admitted)
+          entries.push_back({node, levels[static_cast<std::size_t>(idx)]});
+        out_ops = result.ops;
+        return static_cast<std::size_t>(result.candidates);
+      });
 }
 
 }  // namespace isomap

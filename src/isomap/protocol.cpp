@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/exec.hpp"
 #include "isomap/regression.hpp"
 #include "isomap/round_arena.hpp"
 #include "net/channel.hpp"
@@ -72,13 +73,65 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
   obs::PhaseTimer fit_timer(obs::kPhaseGradientFit);
   double measurement_bytes = 0.0;
   std::vector<bool> has_gradient(static_cast<std::size_t>(n), false);
-  // SoA sample scratch reused across isoline nodes: the regression reads
-  // unit-stride coordinate/value arrays instead of strided FieldSample
-  // fields, and the arrays keep their capacity across fits.
-  std::vector<double> sample_xs, sample_ys, sample_vs;
-  for (int node : distinct_nodes) {
-    const std::vector<std::pair<int, int>> scope =
-        graph.k_hop_neighbours_with_distance(node, query.regression_hops);
+  // Tile-parallel gradient fits. Workers fill one slot per distinct node
+  // — the k-hop scope (thread-safe: epoch-stamped thread_local scratch in
+  // CommGraph), the sample count and the pure SoA fit — touching nothing
+  // shared. Everything order-sensitive (Ledger charges with their cost
+  // trace events, the regression metrics, the output tables) happens in
+  // the serial merge below, walking slots in distinct-node order, which
+  // is exactly the sequence the serial loop emitted: charges first, then
+  // fit metrics, then the unconditional compute charge.
+  struct FitSlot {
+    std::vector<std::pair<int, int>> scope;  ///< (neighbour, hop distance).
+    Vec2 descent{};
+    std::size_t samples = 0;
+    bool has_fit = false;
+  };
+  std::vector<FitSlot> slots(distinct_nodes.size());
+  // Fits are few (O(sqrt(n) * levels)) and each costs O(scope), so small
+  // blocks keep all workers fed.
+  const TileBlocks fit_blocks{distinct_nodes.size(), 64};
+  exec::parallel_for_blocks(
+      fit_blocks, [&](std::size_t, std::size_t begin, std::size_t end) {
+        // SoA sample scratch reused across this block's isoline nodes:
+        // the regression reads unit-stride coordinate/value arrays, and
+        // the arrays keep their capacity across fits.
+        std::vector<double> sample_xs, sample_ys, sample_vs;
+        for (std::size_t i = begin; i < end; ++i) {
+          const int node = distinct_nodes[i];
+          FitSlot& slot = slots[i];
+          slot.scope =
+              graph.k_hop_neighbours_with_distance(node, query.regression_hops);
+
+          // Regression runs on the positions the nodes *believe* (their
+          // localization output); the sensed values come from the physical
+          // positions.
+          sample_xs.clear();
+          sample_ys.clear();
+          sample_vs.clear();
+          sample_xs.reserve(slot.scope.size() + 1);
+          sample_ys.reserve(slot.scope.size() + 1);
+          sample_vs.reserve(slot.scope.size() + 1);
+          const auto push_sample = [&](int v) {
+            const Vec2 p = deployment.node(v).reported_pos();
+            sample_xs.push_back(p.x);
+            sample_ys.push_back(p.y);
+            sample_vs.push_back(readings[static_cast<std::size_t>(v)]);
+          };
+          push_sample(node);
+          for (const auto& [nb, dist] : slot.scope) push_sample(nb);
+
+          slot.samples = sample_xs.size();
+          if (const auto fit = fit_plane_soa(sample_xs, sample_ys, sample_vs)) {
+            slot.has_fit = true;
+            slot.descent = fit->descent_direction();
+          }
+        }
+      });
+
+  for (std::size_t i = 0; i < distinct_nodes.size(); ++i) {
+    const int node = distinct_nodes[i];
+    const FitSlot& slot = slots[i];
 
     // Traffic: one probe broadcast heard by the 1-hop neighbours (k-hop
     // scopes rebroadcast it hop by hop), then one <value, position> reply
@@ -88,36 +141,18 @@ IsoMapResult IsoMapProtocol::run(const std::vector<double>& readings,
       ledger.broadcast(node, graph.neighbours(node),
                        IsoMapOptions::kProbeBytes);
       measurement_bytes += IsoMapOptions::kProbeBytes;
-      for (const auto& [nb, dist] : scope) {
+      for (const auto& [nb, dist] : slot.scope) {
         const double reply = IsoMapOptions::kSampleTupleBytes * dist;
         ledger.transmit(nb, node, reply);
         measurement_bytes += reply;
       }
     }
 
-    // Regression runs on the positions the nodes *believe* (their
-    // localization output); the sensed values come from the physical
-    // positions.
-    sample_xs.clear();
-    sample_ys.clear();
-    sample_vs.clear();
-    sample_xs.reserve(scope.size() + 1);
-    sample_ys.reserve(scope.size() + 1);
-    sample_vs.reserve(scope.size() + 1);
-    const auto push_sample = [&](int v) {
-      const Vec2 p = deployment.node(v).reported_pos();
-      sample_xs.push_back(p.x);
-      sample_ys.push_back(p.y);
-      sample_vs.push_back(readings[static_cast<std::size_t>(v)]);
-    };
-    push_sample(node);
-    for (const auto& [nb, dist] : scope) push_sample(nb);
-
-    double ops = 0.0;
-    const auto fit = fit_plane(sample_xs, sample_ys, sample_vs, &ops);
-    ledger.compute(node, ops);
-    if (fit) {
-      descent[static_cast<std::size_t>(node)] = fit->descent_direction();
+    record_fit_metrics(slot.samples);
+    if (!slot.has_fit) record_degenerate_fit();
+    ledger.compute(node, slot.has_fit ? fit_plane_ops(slot.samples) : 0.0);
+    if (slot.has_fit) {
+      descent[static_cast<std::size_t>(node)] = slot.descent;
       has_gradient[static_cast<std::size_t>(node)] = true;
     }
   }

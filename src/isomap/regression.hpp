@@ -74,6 +74,41 @@ PlaneValueStats plane_value_stats(std::span<const double> xs,
                                   std::span<const double> vs,
                                   const PlanePositionStats& pos);
 
+/// Both sufficient-statistic blocks of one fit, computed together.
+struct PlaneStats {
+  PlanePositionStats pos;
+  PlaneValueStats val;
+};
+
+/// Fused batch kernel: both blocks in two passes over the three arrays
+/// (one for the means, one for the centred sums) instead of the four the
+/// split plane_position_stats + plane_value_stats path makes. Every
+/// accumulator chain still adds its own addend sequence in sample order —
+/// fusing interleaves *independent* chains, never reassociates within one
+/// — so each sum, and any fit solved from the blocks, is bit-identical to
+/// the split kernels. The loops are branch-free over raw contiguous
+/// arrays (no size checks inside, no indirect calls), which is what lets
+/// the compiler vectorize across the chains.
+PlaneStats plane_stats_batch(std::span<const double> xs,
+                             std::span<const double> ys,
+                             std::span<const double> vs);
+
+/// Pure SoA fit: plane_stats_batch + solve_plane, nothing else — no
+/// observability emission, no ops accounting, safe to call from exec pool
+/// workers. The parallel node phase fits with this and replays the
+/// instrumented fit_plane's metrics and ledger charge in its ordered
+/// merge via record_fit_metrics / record_degenerate_fit + fit_plane_ops.
+std::optional<PlaneFit> fit_plane_soa(std::span<const double> xs,
+                                      std::span<const double> ys,
+                                      std::span<const double> vs);
+
+/// The metric emissions of one fit_plane call, exposed so a serial merge
+/// can replay them for fits computed on pool workers: record_fit_metrics
+/// first (fit count + scope-size observation), then record_degenerate_fit
+/// iff the fit failed — the exact order the instrumented path emits.
+void record_fit_metrics(std::size_t n_samples);
+void record_degenerate_fit();
+
 /// Solve the 3x3 normal equations assembled from the two blocks. Returns
 /// nullopt on degeneracy (fewer than 3 samples, or collinear positions).
 /// Pure arithmetic: no observability emission, no ops accounting — use

@@ -7,12 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "eval/level_map.hpp"
 #include "eval/metrics.hpp"
 #include "exec/exec.hpp"
+#include "obs/node_telemetry.hpp"
+#include "obs/trace.hpp"
+#include "sim/run_capsule.hpp"
 #include "sim/runners.hpp"
 
 namespace isomap {
@@ -116,6 +121,108 @@ TEST(Determinism, FiveTrialSweepIsThreadCountInvariant) {
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i)
     EXPECT_EQ(serial[i], parallel[i]) << "trial " << i + 1;
+}
+
+/// Trace text minus "phase" events — those carry a wall_s field that is
+/// nondeterministic even across two serial runs. Every other event kind
+/// (cost, note, span, loss) must replay byte for byte.
+std::string strip_phase_lines(const std::string& trace) {
+  std::string out;
+  std::istringstream in(trace);
+  std::string line;
+  while (std::getline(in, line))
+    if (line.find("\"kind\":\"phase\"") == std::string::npos)
+      out += line + "\n";
+  return out;
+}
+
+TEST(Determinism, NodePhaseSerialVsParallelSweep) {
+  // Worst case for the tile-parallel node phase in one scenario: dead
+  // nodes from deployment failures, mid-run crashes plus a region
+  // blackout (self-healing on), and readings parked on isolevel band
+  // edges nudged by one ulp — the bit patterns where any reassociation
+  // in the parallel selection/fit path would first show up.
+  Scenario s = test_scenario(31, 0.05);
+  IsoMapOptions options = isomap_options(s, 4);
+  const std::vector<double> levels = options.query.isolevels();
+  const double eps = options.query.epsilon();
+  const int n = s.deployment.size();
+  for (int v = 0; v < n; v += 3) {
+    const double lambda = levels[static_cast<std::size_t>(v) % levels.size()];
+    double value = (v % 2 == 0) ? lambda - eps : lambda + eps;
+    if (v % 6 == 0) value = std::nextafter(value, 1e300);
+    if (v % 6 == 3) value = std::nextafter(value, -1e300);
+    s.readings[static_cast<std::size_t>(v)] = value;
+  }
+  options.fault.crash_fraction = 0.10;
+  options.fault.seed = 77;
+  options.fault.self_healing = true;
+  options.fault.blackout = true;
+  options.fault.blackout_center = {10.0, 10.0};
+  options.fault.blackout_radius = 5.0;
+  options.fault.blackout_time = 0.5;
+
+  struct Out {
+    std::string summary, telemetry, trace;
+    int generated = 0, delivered = 0;
+    std::vector<double> tx, rx, ops;
+
+    bool operator==(const Out&) const = default;
+  };
+  auto run_once = [&] {
+    std::ostringstream trace_text;
+    obs::TraceSink trace(trace_text);
+    obs::NodeTelemetry telemetry(n);
+    const IsoMapRun run = run_isomap(s, options, &trace, &telemetry);
+    trace.flush();
+    Out out;
+    out.summary = normalized_summary(run.summary);
+    out.telemetry = telemetry.snapshot().to_json().dump(2);
+    out.trace = strip_phase_lines(trace_text.str());
+    out.generated = run.result.generated_reports;
+    out.delivered = run.result.delivered_reports;
+    for (int v = 0; v < n; ++v) {
+      out.tx.push_back(run.ledger.tx_bytes(v));
+      out.rx.push_back(run.ledger.rx_bytes(v));
+      out.ops.push_back(run.ledger.ops(v));
+    }
+    return out;
+  };
+  const Out serial = at_thread_count(1, run_once);
+  const Out parallel = at_thread_count(4, run_once);
+
+  EXPECT_EQ(serial.summary, parallel.summary);
+  EXPECT_EQ(serial.telemetry, parallel.telemetry);
+  EXPECT_EQ(serial.trace, parallel.trace);
+  EXPECT_EQ(serial.generated, parallel.generated);
+  EXPECT_EQ(serial.delivered, parallel.delivered);
+  EXPECT_EQ(serial.tx, parallel.tx);
+  EXPECT_EQ(serial.rx, parallel.rx);
+  EXPECT_EQ(serial.ops, parallel.ops);
+}
+
+TEST(Determinism, GoldenCorpusReplaysAtBothThreadCounts) {
+  // The committed capsules were recorded before the node phase went
+  // tile-parallel. They must replay bit-identically at 1 and at 4
+  // threads with zero regeneration — the capsules on disk are the
+  // contract, not a moving target.
+  const std::string dir = ISOMAP_GOLDEN_DIR;
+  const char* names[] = {"single_small", "continuous_drift",
+                         "chaos_crash_burst", "band_edge_ulp",
+                         "impaired_arq"};
+  for (const int threads : {1, 4}) {
+    for (const char* name : names) {
+      SCOPED_TRACE(std::string(name) + " at threads=" +
+                   std::to_string(threads));
+      const capsule::RunCapsule stored =
+          capsule::load(dir + "/" + std::string(name) + ".capsule");
+      const auto diff = at_thread_count(threads, [&] {
+        const capsule::RunCapsule fresh = capsule::replay(stored);
+        return capsule::diff_outputs(stored, fresh);
+      });
+      EXPECT_FALSE(diff.has_value()) << diff->where << ": " << diff->detail;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,179 @@
+// Vectorization-parity probe: runs every batch kernel that carries a
+// bit-identity contract (fused plane-fit stats, batched point-in-region
+// classification, marching squares) on seeded inputs and prints the raw
+// IEEE-754 bit patterns of the outputs as hex. CI builds this tool twice
+// — once with -ftree-vectorize, once with -fno-tree-vectorize — and
+// diffs the two stdouts: any difference means the "vectorize across
+// independent chains, never reassociate within one" rule was broken by a
+// compiler transform the flags toggle.
+//
+// The tool also checks each batch kernel against its scalar oracle
+// in-process and exits 1 on any mismatch, so a single build already
+// catches batch-vs-scalar divergence; the double-build diff adds the
+// flag-sensitivity axis.
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "geometry/marching_squares.hpp"
+#include "isomap/regression.hpp"
+#include "sim/runners.hpp"
+#include "sim/scenario.hpp"
+
+namespace isomap {
+namespace {
+
+/// splitmix64 — deterministic, seed-only input generator (no
+/// std::random_device, no time).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// FNV-1a over a stream of 64-bit words — a compact fingerprint of a
+/// kernel's full output bit pattern.
+struct Fnv {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  void add(std::uint64_t w) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (w >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  }
+  void add(double d) { add(std::bit_cast<std::uint64_t>(d)); }
+};
+
+bool g_ok = true;
+
+void report(const char* kernel, const char* what, bool match) {
+  if (!match) {
+    std::fprintf(stderr, "[FAIL] %s: %s mismatch vs scalar oracle\n", kernel,
+                 what);
+    g_ok = false;
+  }
+}
+
+std::uint64_t bits(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+void fit_parity() {
+  std::uint64_t rng = 0x15041A5ULL;
+  Fnv fp;
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(splitmix64(rng) % 61);
+    std::vector<double> xs(n), ys(n), vs(n);
+    std::vector<FieldSample> aos(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xs[i] = uniform01(rng) * 40.0 - 20.0;
+      ys[i] = uniform01(rng) * 40.0 - 20.0;
+      vs[i] = uniform01(rng) * 10.0 + 0.01 * xs[i] - 0.03 * ys[i];
+      aos[i] = {{xs[i], ys[i]}, vs[i]};
+    }
+    // Oracle: the split AoS path (position stats, then value stats, then
+    // the solve). The fused SoA kernel must reproduce it bit for bit.
+    const PlanePositionStats pos = plane_position_stats(aos);
+    const PlaneValueStats val = plane_value_stats(aos, pos);
+    const auto split = solve_plane(pos, val);
+    const auto fused = fit_plane_soa(xs, ys, vs);
+    report("fit_plane_soa", "has_value",
+           split.has_value() == fused.has_value());
+    if (split && fused) {
+      report("fit_plane_soa", "coefficients",
+             bits(split->c0) == bits(fused->c0) &&
+                 bits(split->c1) == bits(fused->c1) &&
+                 bits(split->c2) == bits(fused->c2));
+      fp.add(fused->c0);
+      fp.add(fused->c1);
+      fp.add(fused->c2);
+    }
+  }
+  std::printf("fit_plane_soa       %016llx\n",
+              static_cast<unsigned long long>(fp.h));
+}
+
+void region_parity() {
+  // A real sink map from a small deterministic round — exercises the
+  // rules-path AABB pre-reject and the per-level sieve on the same
+  // geometry the protocol produces.
+  ScenarioConfig config;
+  config.num_nodes = 400;
+  config.field_side = 20.0;
+  config.seed = 9;
+  const Scenario s = make_scenario(config);
+  const ContourMap& map = run_isomap(s, 4).result.map;
+
+  std::uint64_t rng = 0xC0FFEEULL;
+  std::vector<Vec2> pts(4096);
+  for (Vec2& p : pts)
+    p = {uniform01(rng) * 22.0 - 1.0, uniform01(rng) * 22.0 - 1.0};
+  std::vector<int> batch(pts.size(), -1);
+  map.level_index_batch(pts, batch);
+
+  Fnv fp;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    report("level_index_batch", "level index",
+           batch[i] == map.level_index(pts[i]));
+    fp.add(static_cast<std::uint64_t>(batch[i]));
+  }
+  std::printf("level_index_batch   %016llx\n",
+              static_cast<unsigned long long>(fp.h));
+}
+
+void marching_parity() {
+  std::uint64_t rng = 0x5EED5ULL;
+  const int res = 96;
+  std::vector<double> values(static_cast<std::size_t>(res) * res);
+  for (double& v : values) v = uniform01(rng);
+  SampleGrid grid;
+  grid.nx = res;
+  grid.ny = res;
+  grid.dx = 0.25;
+  grid.dy = 0.25;
+  grid.value = [&](int ix, int iy) {
+    return values[static_cast<std::size_t>(iy) * res + ix];
+  };
+
+  Fnv fp;
+  for (const double isolevel : {0.25, 0.5, 0.75}) {
+    const auto fast = marching_squares(grid, isolevel);
+    const auto ref = marching_squares_reference(grid, isolevel);
+    bool match = fast.size() == ref.size();
+    for (std::size_t p = 0; match && p < fast.size(); ++p) {
+      match = fast[p].points().size() == ref[p].points().size() &&
+              fast[p].closed() == ref[p].closed();
+      for (std::size_t i = 0; match && i < fast[p].points().size(); ++i)
+        match = bits(fast[p].points()[i].x) == bits(ref[p].points()[i].x) &&
+                bits(fast[p].points()[i].y) == bits(ref[p].points()[i].y);
+    }
+    report("marching_squares", "polylines", match);
+    for (const Polyline& poly : fast)
+      for (const Vec2& p : poly.points()) {
+        fp.add(p.x);
+        fp.add(p.y);
+      }
+  }
+  std::printf("marching_squares    %016llx\n",
+              static_cast<unsigned long long>(fp.h));
+}
+
+}  // namespace
+}  // namespace isomap
+
+int main() {
+  isomap::fit_parity();
+  isomap::region_parity();
+  isomap::marching_parity();
+  if (!isomap::g_ok) return 1;
+  std::printf("kernel_parity: all batch kernels match their oracles\n");
+  return 0;
+}
