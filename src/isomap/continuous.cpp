@@ -7,6 +7,7 @@
 
 #include "exec/exec.hpp"
 #include "isomap/filter.hpp"
+#include "isomap/fingerprint.hpp"
 #include "isomap/node_selection.hpp"
 #include "isomap/regression.hpp"
 #include "obs/obs.hpp"
@@ -39,35 +40,6 @@ bool report_sets_equal(const std::vector<IsolineReport>& a,
   for (std::size_t i = 0; i < a.size(); ++i)
     if (!report_equal(a[i], b[i])) return false;
   return true;
-}
-
-/// Word-at-a-time hash over the wire-relevant report fields — the
-/// per-level fingerprint of the sink phase. The fingerprint is purely
-/// internal and collisions are handled (the cached report copy is always
-/// compared exactly before a region is reused), so the mixer only has to
-/// be cheap and well-spread, not stable across versions: one
-/// splitmix64-style avalanche per 64-bit field instead of eight FNV byte
-/// steps keeps the clean-level fast path O(reports) with a tiny constant.
-std::uint64_t fingerprint_reports(const std::vector<IsolineReport>& reports) {
-  std::uint64_t h = 0x9e3779b97f4a7c15ull;
-  const auto mix = [&h](std::uint64_t x) {
-    x ^= x >> 30;
-    x *= 0xbf58476d1ce4e5b9ull;
-    x ^= x >> 27;
-    x *= 0x94d049bb133111ebull;
-    x ^= x >> 31;
-    h = (h ^ x) * 0x2545f4914f6cdd1dull;
-  };
-  mix(reports.size());
-  for (const auto& r : reports) {
-    mix(double_bits(r.isolevel));
-    mix(double_bits(r.position.x));
-    mix(double_bits(r.position.y));
-    mix(double_bits(r.gradient.x));
-    mix(double_bits(r.gradient.y));
-    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(r.source)));
-  }
-  return h;
 }
 
 /// Mirror of node_selection.cpp's per-entry selection trace, replayed for
@@ -356,6 +328,7 @@ ContourMap ContinuousMapper::build_map_incremental(
       continue;
     dirty.push_back(li);
   }
+  last_fingerprints_ = fingerprints;
   obs::count("continuous.levels_rebuilt", static_cast<double>(dirty.size()));
 
   // Rebuild dirty levels across the pool: each slot is written by
@@ -656,11 +629,34 @@ RoundResult ContinuousMapper::round(const std::vector<double>& readings,
     caches_primed_ = true;
   } else {
     obs::count("continuous.levels_rebuilt", static_cast<double>(num_levels_));
+    // Group-and-fingerprint exactly as build_map_incremental does, so
+    // level_fingerprints() is engine-independent. Pure bookkeeping: no
+    // obs emission, no effect on the map or the ledger.
+    std::vector<std::vector<IsolineReport>> groups(
+        static_cast<std::size_t>(num_levels_));
+    for (const auto& r : reports) {
+      const int li = level_index_of(r.isolevel);
+      if (li >= 0) groups[static_cast<std::size_t>(li)].push_back(r);
+    }
+    last_fingerprints_.resize(groups.size());
+    for (std::size_t li = 0; li < groups.size(); ++li)
+      last_fingerprints_[li] = fingerprint_reports(groups[li]);
     result.map = ContourMapBuilder(deployment_->bounds(),
                                    options_.base.regulation)
                      .build(reports, isolevels_);
   }
   return result;
+}
+
+std::vector<IsolineReport> ContinuousMapper::post_filter_reports() const {
+  std::vector<IsolineReport> reports;
+  reports.reserve(static_cast<std::size_t>(sink_count_));
+  for (const std::size_t key : sink_keys_)
+    reports.push_back(sink_table_[key].report);
+  const ContourQuery& query = options_.base.query;
+  if (query.enable_filtering)
+    reports = InNetworkFilter::from_query(query).filter(std::move(reports));
+  return reports;
 }
 
 std::vector<ContinuousMapper::SinkDumpEntry> ContinuousMapper::sink_dump()

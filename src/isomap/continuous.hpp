@@ -136,6 +136,24 @@ class ContinuousMapper {
   /// surface the incremental-vs-oracle equivalence tests diff.
   std::vector<SinkDumpEntry> sink_dump() const;
 
+  /// Per-level round fingerprints: fingerprint_reports() of each
+  /// isolevel's post-filter report set as of the last round() call, in
+  /// isolevel order (empty before the first round). Engine-independent —
+  /// both engines record the identical values — and the exact per-level
+  /// cache key the map service builds response keys from: a level whose
+  /// fingerprint is unchanged since a cached response was built serves
+  /// that response without recomputation (see docs/SERVICE.md).
+  const std::vector<std::uint64_t>& level_fingerprints() const {
+    return last_fingerprints_;
+  }
+
+  /// The current sink table flattened to the post-filter report list, in
+  /// the exact (node, level) order and with the exact filter decisions
+  /// round() feeds its map build. ContourMapBuilder::build over this list
+  /// reproduces the last round's map bit for bit — the service's oracle
+  /// mode rebuilds from it and diffs the bytes. Emits no obs phases.
+  std::vector<IsolineReport> post_filter_reports() const;
+
  private:
   /// Flat node-side memory slot: last reported gradient per
   /// (node, level), keyed node * num_levels + level. Flat-vector lex
@@ -245,6 +263,9 @@ class ContinuousMapper {
   std::vector<std::size_t> memory_keys_;  ///< Occupied node_memory_ slots.
   std::vector<std::size_t> sink_keys_;    ///< Occupied sink_table_ slots.
   int sink_count_ = 0;
+  /// Per-level fingerprints of the last round's post-filter report sets
+  /// (see level_fingerprints()).
+  std::vector<std::uint64_t> last_fingerprints_;
 
   /// Incremental caches. caches_primed_ is false after construction and
   /// set_topology; the first round then evaluates every node (exactly

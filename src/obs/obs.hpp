@@ -105,5 +105,9 @@ inline constexpr const char* kPhaseFilterDrop = "filter_drop";
 inline constexpr const char* kPhaseMapGen = "map_gen";
 inline constexpr const char* kPhaseAggregate = "aggregate";
 inline constexpr const char* kPhaseSuppress = "suppress";
+/// Service-layer phases (src/serve): one shard's virtual-time mapping
+/// round, and a query-response body build on a cache miss.
+inline constexpr const char* kPhaseTick = "tick";
+inline constexpr const char* kPhaseServe = "serve";
 
 }  // namespace isomap::obs

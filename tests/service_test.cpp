@@ -1,0 +1,452 @@
+// Iso-Map-as-a-service tests: scenario validator (strict typed errors on
+// arbitrary input — the fuzz cases run under ASan/UBSan in CI), the
+// fingerprint-keyed response cache's bitwise-identity contract, thread-
+// count independence of served bytes, the golden-compat path (a service
+// shard hosting a golden capsule's deployment serves maps bitwise-
+// identical to isomap_replay output), and shard capsule export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "serve/scenario.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "sim/run_capsule.hpp"
+
+namespace isomap {
+namespace {
+
+using serve::DeploymentSpec;
+using serve::IsoMapService;
+using serve::QueryRequest;
+using serve::QueryResponse;
+using serve::ScenarioError;
+using serve::ServiceScenario;
+
+std::string golden_path(const std::string& name) {
+  return std::string(ISOMAP_GOLDEN_DIR) + "/" + name + ".capsule";
+}
+
+// ---------------------------------------------------------------------------
+// Scenario validator.
+
+constexpr const char* kGoodScenario = R"json({
+  "schema": 1,
+  "name": "good",
+  "rounds": 4,
+  "oracle_check_every": 3,
+  "cache_capacity": 64,
+  "deployments": [
+    {
+      "name": "harbor",
+      "nodes": 200,
+      "field_side": 16.0,
+      "field": "harbor",
+      "drift_target": "silted",
+      "drift_per_round": 0.1,
+      "seed": 7,
+      "num_levels": 4,
+      "stale_rounds": 6
+    },
+    {
+      "name": "basin",
+      "nodes": 150,
+      "field": "multi_basin",
+      "drift_target": "sloped",
+      "seed": 11,
+      "num_levels": 3,
+      "engine": "oracle"
+    }
+  ],
+  "query_mix": {"queries_per_tick": 8, "subset_fraction": 0.5, "seed": 3}
+})json";
+
+/// The where() path of the ScenarioError `text` raises; "" when it parses.
+std::string error_path(const std::string& text) {
+  try {
+    (void)serve::parse_service_scenario(text);
+  } catch (const ScenarioError& e) {
+    return e.where();
+  }
+  return "";
+}
+
+TEST(ServiceScenarioTest, GoodScenarioParsesWithDefaults) {
+  const ServiceScenario sc = serve::parse_service_scenario(kGoodScenario);
+  EXPECT_EQ(sc.name, "good");
+  EXPECT_EQ(sc.rounds, 4);
+  EXPECT_EQ(sc.oracle_check_every, 3);
+  EXPECT_EQ(sc.cache_capacity, 64);
+  ASSERT_EQ(sc.deployments.size(), 2u);
+  EXPECT_EQ(sc.deployments[0].name, "harbor");
+  EXPECT_EQ(sc.deployments[0].nodes, 200);
+  EXPECT_EQ(sc.deployments[0].drift_per_round, 0.1);
+  EXPECT_EQ(sc.deployments[1].engine, ContinuousEngine::kOracle);
+  // Unset keys fall back to documented defaults.
+  EXPECT_EQ(sc.deployments[1].field_side, 20.0);
+  EXPECT_EQ(sc.deployments[1].drift_per_round, 0.0);
+  EXPECT_EQ(sc.query_mix.queries_per_tick, 8);
+}
+
+TEST(ServiceScenarioTest, MalformedJsonIsTypedError) {
+  EXPECT_EQ(error_path(""), "$");
+  EXPECT_EQ(error_path("{"), "$");
+  EXPECT_EQ(error_path("not json at all"), "$");
+  EXPECT_EQ(error_path("[1,2,3]"), "$");  // Root must be an object.
+  EXPECT_EQ(error_path("\"just a string\""), "$");
+}
+
+TEST(ServiceScenarioTest, UnknownKeysRejectedWithPath) {
+  EXPECT_EQ(error_path(R"({"schema":1,"name":"x","rounds":1,"warmup":5,)"
+                       R"("deployments":[{"name":"a"}]})"),
+            "$.warmup");
+  EXPECT_EQ(error_path(R"({"schema":1,"name":"x","rounds":1,)"
+                       R"("deployments":[{"name":"a","warmup_rounds":5}]})"),
+            "$.deployments[0].warmup_rounds");
+  EXPECT_EQ(error_path(R"({"schema":1,"name":"x","rounds":1,)"
+                       R"("deployments":[{"name":"a"}],)"
+                       R"("query_mix":{"qps":10}})"),
+            "$.query_mix.qps");
+}
+
+TEST(ServiceScenarioTest, OutOfRangeValuesRejected) {
+  // rounds below/above the [1, 1e6] pin.
+  EXPECT_EQ(error_path(R"({"schema":1,"name":"x","rounds":0,)"
+                       R"("deployments":[{"name":"a"}]})"),
+            "$.rounds");
+  EXPECT_EQ(error_path(R"({"schema":1,"name":"x","rounds":1000001,)"
+                       R"("deployments":[{"name":"a"}]})"),
+            "$.rounds");
+  // schema pinned to [1, 1].
+  EXPECT_EQ(error_path(R"({"schema":2,"name":"x","rounds":1,)"
+                       R"("deployments":[{"name":"a"}]})"),
+            "$.schema");
+  // nodes below the 16-node floor.
+  EXPECT_EQ(error_path(R"({"schema":1,"name":"x","rounds":1,)"
+                       R"("deployments":[{"name":"a","nodes":8}]})"),
+            "$.deployments[0].nodes");
+  // drift_per_round outside [0, 1].
+  EXPECT_EQ(
+      error_path(R"({"schema":1,"name":"x","rounds":1,)"
+                 R"("deployments":[{"name":"a","drift_per_round":1.5}]})"),
+      "$.deployments[0].drift_per_round");
+  // subset_fraction outside [0, 1].
+  EXPECT_EQ(error_path(R"({"schema":1,"name":"x","rounds":1,)"
+                       R"("deployments":[{"name":"a"}],)"
+                       R"("query_mix":{"subset_fraction":-0.1}})"),
+            "$.query_mix.subset_fraction");
+  // cache_capacity must be >= 1.
+  EXPECT_EQ(error_path(R"({"schema":1,"name":"x","rounds":1,)"
+                       R"("cache_capacity":0,)"
+                       R"("deployments":[{"name":"a"}]})"),
+            "$.cache_capacity");
+}
+
+TEST(ServiceScenarioTest, StructuralDefectsRejected) {
+  // Required keys missing.
+  EXPECT_EQ(error_path(R"({"schema":1,"rounds":1,)"
+                       R"("deployments":[{"name":"a"}]})"),
+            "$.name");
+  EXPECT_EQ(error_path(R"({"schema":1,"name":"x","rounds":1})"),
+            "$.deployments");
+  // Wrong types.
+  EXPECT_EQ(error_path(R"({"schema":1,"name":"x","rounds":"ten",)"
+                       R"("deployments":[{"name":"a"}]})"),
+            "$.rounds");
+  EXPECT_EQ(error_path(R"({"schema":1,"name":"x","rounds":1,)"
+                       R"("deployments":{"name":"a"}})"),
+            "$.deployments");
+  // Non-integral count.
+  EXPECT_EQ(error_path(R"({"schema":1,"name":"x","rounds":1.5,)"
+                       R"("deployments":[{"name":"a"}]})"),
+            "$.rounds");
+  // Duplicate deployment names.
+  EXPECT_EQ(error_path(R"({"schema":1,"name":"x","rounds":1,)"
+                       R"("deployments":[{"name":"a"},{"name":"a"}]})"),
+            "$.deployments[1].name");
+  // Unknown enum values, and the no-seeded-drift-target rule.
+  EXPECT_EQ(error_path(R"({"schema":1,"name":"x","rounds":1,)"
+                       R"("deployments":[{"name":"a","field":"lava"}]})"),
+            "$.deployments[0].field");
+  EXPECT_EQ(
+      error_path(R"({"schema":1,"name":"x","rounds":1,)"
+                 R"("deployments":[{"name":"a","drift_target":"random"}]})"),
+      "$.deployments[0].drift_target");
+}
+
+TEST(ServiceScenarioTest, UnreadableFileIsTypedError) {
+  EXPECT_THROW(serve::load_service_scenario("/no/such/scenario.json"),
+               ScenarioError);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-ish validator robustness (capsule_test pattern). Run under
+// ASan/UBSan in CI: parse of arbitrary bytes must either succeed or
+// throw ScenarioError — never crash, never leak any other exception.
+
+void expect_clean_parse(std::string_view text) {
+  try {
+    (void)serve::parse_service_scenario(text);
+  } catch (const ScenarioError&) {
+    // Expected for malformed input.
+  }
+}
+
+TEST(ServiceScenarioFuzz, TruncationNeverCrashes) {
+  const std::string text = kGoodScenario;
+  for (std::size_t cut = 0; cut < text.size(); ++cut)
+    expect_clean_parse(text.substr(0, cut));
+}
+
+TEST(ServiceScenarioFuzz, ByteFlipsNeverCrash) {
+  const std::string text = kGoodScenario;
+  for (std::size_t pos = 0; pos < text.size(); ++pos) {
+    for (const char mask : {'\x01', '\x80', '\xFF'}) {
+      std::string mutated = text;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ mask);
+      expect_clean_parse(mutated);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Service behaviour.
+
+ServiceScenario small_scenario(double drift = 0.0) {
+  ServiceScenario sc;
+  sc.name = "test";
+  sc.rounds = 4;
+  sc.cache_capacity = 64;
+  DeploymentSpec a;
+  a.name = "alpha";
+  a.nodes = 180;
+  a.field_side = 16.0;
+  a.field = FieldKind::kHarbor;
+  a.drift_target = FieldKind::kSilted;
+  a.drift_per_round = drift;
+  a.seed = 5;
+  a.num_levels = 4;
+  DeploymentSpec b = a;
+  b.name = "beta";
+  b.nodes = 150;
+  b.field = FieldKind::kMultiBasin;
+  b.drift_target = FieldKind::kSloped;
+  b.seed = 9;
+  b.num_levels = 3;
+  sc.deployments = {a, b};
+  sc.query_mix.queries_per_tick = 12;
+  sc.query_mix.subset_fraction = 0.5;
+  sc.query_mix.seed = 3;
+  return sc;
+}
+
+QueryRequest full_set_query(const IsoMapService& service, int shard) {
+  QueryRequest q;
+  q.shard = shard;
+  for (int k = 0; k < service.num_levels(shard); ++k) q.levels.push_back(k);
+  return q;
+}
+
+TEST(IsoMapServiceTest, ServeBeforeFirstTickThrows) {
+  IsoMapService service(small_scenario());
+  EXPECT_THROW(service.serve_batch({}), std::logic_error);
+}
+
+TEST(IsoMapServiceTest, CacheHitsAreBitwiseIdenticalToFreshBuilds) {
+  IsoMapService service(small_scenario());
+  service.tick();
+  std::vector<QueryRequest> batch = {full_set_query(service, 0),
+                                     full_set_query(service, 1)};
+  QueryRequest subset;
+  subset.shard = 0;
+  subset.levels = {1, 3};
+  batch.push_back(subset);
+
+  const std::vector<QueryResponse> first = service.serve_batch(batch);
+  ASSERT_EQ(first.size(), batch.size());
+  for (const QueryResponse& r : first) EXPECT_FALSE(r.cache_hit);
+
+  // Same round, same keys: the repeat batch is all hits, byte-for-byte
+  // the first batch's bodies, and the oracle rebuild agrees with both.
+  const std::vector<QueryResponse> second = service.serve_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(second[i].cache_hit);
+    EXPECT_EQ(*second[i].body, *first[i].body);
+    EXPECT_EQ(service.oracle_check(batch[i], *second[i].body), std::nullopt)
+        << "query " << i;
+  }
+  EXPECT_EQ(service.stats().cache_hits,
+            static_cast<long long>(batch.size()));
+}
+
+TEST(IsoMapServiceTest, FrozenFieldHitsAcrossTicksDriftMisses) {
+  // Frozen field: fingerprints are stable after round 1, so round-2
+  // repeats of round-1 queries hit. Drifting field: fingerprints change
+  // every round, so the same queries miss again.
+  for (const double drift : {0.0, 0.1}) {
+    IsoMapService service(small_scenario(drift));
+    service.tick();
+    const std::vector<QueryRequest> batch = {full_set_query(service, 0)};
+    service.serve_batch(batch);
+    service.tick();
+    const std::vector<QueryResponse> out = service.serve_batch(batch);
+    EXPECT_EQ(out[0].cache_hit, drift == 0.0) << "drift " << drift;
+  }
+}
+
+TEST(IsoMapServiceTest, NormalizeLevelsCanonicalizesAndBoundsChecks) {
+  IsoMapService service(small_scenario());
+  QueryRequest q;
+  q.shard = 0;
+  q.levels = {3, 1, 3, 0};
+  EXPECT_TRUE(service.normalize_levels(q));
+  EXPECT_EQ(q.levels, (std::vector<int>{0, 1, 3}));
+  q.levels = {0, 4};  // Shard 0 has 4 levels: index 4 out of range.
+  EXPECT_FALSE(service.normalize_levels(q));
+  q.levels = {};
+  EXPECT_FALSE(service.normalize_levels(q));
+  q.shard = 2;
+  q.levels = {0};
+  EXPECT_FALSE(service.normalize_levels(q));
+}
+
+TEST(IsoMapServiceTest, FifoEvictionBoundsCacheSize) {
+  ServiceScenario sc = small_scenario();
+  sc.cache_capacity = 2;
+  IsoMapService service(sc);
+  service.tick();
+  for (const std::vector<int>& levels :
+       {std::vector<int>{0}, {1}, {2}, {0, 1}}) {
+    QueryRequest q;
+    q.shard = 0;
+    q.levels = levels;
+    service.serve_batch({q});
+    EXPECT_LE(service.cache_size(), 2u);
+  }
+}
+
+TEST(IsoMapServiceTest, MixForTickIsDeterministicPerRound) {
+  IsoMapService service(small_scenario());
+  service.tick();
+  const std::vector<QueryRequest> a = service.mix_for_tick();
+  const std::vector<QueryRequest> b = service.mix_for_tick();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].shard, b[i].shard);
+    EXPECT_EQ(a[i].levels, b[i].levels);
+  }
+}
+
+TEST(IsoMapServiceTest, ServedBytesAreThreadCountIndependent) {
+  const int original = exec::thread_count();
+  std::vector<std::string> runs;
+  for (const int threads : {1, 4}) {
+    exec::set_thread_count(threads);
+    IsoMapService service(small_scenario(0.1));
+    std::string all;
+    for (int r = 0; r < 3; ++r) {
+      service.tick();
+      for (const QueryResponse& out :
+           service.serve_batch(service.mix_for_tick())) {
+        all += *out.body;
+        all += '\n';
+      }
+    }
+    runs.push_back(std::move(all));
+  }
+  exec::set_thread_count(original);
+  EXPECT_EQ(runs[0], runs[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Capsule integration.
+
+TEST(IsoMapServiceTest, ShardCapsuleExportReplaysBitForBit) {
+  IsoMapService service(small_scenario(0.1));
+  for (int r = 0; r < 3; ++r) service.tick();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "serve_alpha_test.capsule")
+          .string();
+  ASSERT_TRUE(service.save_shard_capsule(0, path));
+  const capsule::RunCapsule stored = capsule::load(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(stored.kind, capsule::RunKind::kContinuous);
+  EXPECT_EQ(stored.rounds.size(), 3u);
+  const capsule::RunCapsule fresh = capsule::replay(stored);
+  const auto diff = capsule::diff_outputs(stored, fresh);
+  EXPECT_FALSE(diff.has_value())
+      << diff->where << ": " << diff->detail;
+}
+
+TEST(IsoMapServiceTest, AttachCapsuleShardRejectsBadInputs) {
+  const capsule::RunCapsule continuous =
+      capsule::load(golden_path("continuous_drift"));
+  const capsule::RunCapsule single =
+      capsule::load(golden_path("single_small"));
+  IsoMapService service(small_scenario());
+  EXPECT_THROW(service.attach_capsule_shard("single", single),
+               std::invalid_argument);
+  EXPECT_THROW(service.attach_capsule_shard("alpha", continuous),
+               std::invalid_argument);  // Duplicate shard name.
+  service.attach_capsule_shard("drift", continuous);
+  service.tick();
+  EXPECT_THROW(service.attach_capsule_shard("late", continuous),
+               std::logic_error);
+}
+
+/// Golden-compat contract: a service shard hosting an existing golden
+/// capsule's deployment (readings scripted from the capsule) serves a
+/// final map bitwise-identical to what isomap_replay computes for the
+/// same capsule — at thread counts 1 and 4, and again from the cache.
+TEST(GoldenCompatTest, ServiceServesReplayIdenticalBytes) {
+  const capsule::RunCapsule stored =
+      capsule::load(golden_path("continuous_drift"));
+  ASSERT_EQ(stored.kind, capsule::RunKind::kContinuous);
+  ASSERT_FALSE(stored.rounds.empty());
+  const int original = exec::thread_count();
+  std::vector<std::string> bodies;
+  for (const int threads : {1, 4}) {
+    exec::set_thread_count(threads);
+    const capsule::RunCapsule fresh = capsule::replay(stored);
+
+    ServiceScenario sc;
+    sc.name = "golden";
+    sc.rounds = static_cast<int>(stored.rounds.size());
+    sc.cache_capacity = 16;
+    IsoMapService service(sc);
+    const int shard = service.attach_capsule_shard("drift", stored);
+    for (std::size_t r = 0; r < stored.rounds.size(); ++r) service.tick();
+
+    const QueryRequest q = full_set_query(service, shard);
+    const std::vector<QueryResponse> out = service.serve_batch({q});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(out[0].cache_hit);
+    const std::string expect = serve::serialize_response(
+        "drift", serve::wire_levels_from_contours(fresh.final_contours,
+                                                  q.levels));
+    EXPECT_EQ(*out[0].body, expect) << "threads=" << threads;
+    // The replayed outputs match the recorded golden, so the service
+    // also agrees with the capsule's stored contours.
+    const std::string golden = serve::serialize_response(
+        "drift", serve::wire_levels_from_contours(stored.final_contours,
+                                                  q.levels));
+    EXPECT_EQ(*out[0].body, golden) << "threads=" << threads;
+    // And the cached copy hands out the identical bytes.
+    const std::vector<QueryResponse> again = service.serve_batch({q});
+    EXPECT_TRUE(again[0].cache_hit);
+    EXPECT_EQ(*again[0].body, *out[0].body);
+    bodies.push_back(*out[0].body);
+  }
+  exec::set_thread_count(original);
+  ASSERT_EQ(bodies.size(), 2u);
+  EXPECT_EQ(bodies[0], bodies[1]);
+}
+
+}  // namespace
+}  // namespace isomap

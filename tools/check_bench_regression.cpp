@@ -105,11 +105,22 @@ struct Gate {
       ++compared;
       const double allowed = tolerance * std::abs(*base);
       if (std::abs(*fresh - *base) > allowed + 1e-12) {
+        // Actionable failure line: the offending column, both medians,
+        // and the fresh/baseline ratio against the allowed band — enough
+        // to judge severity without re-running the bench locally.
         std::ostringstream os;
         os.precision(10);
         os << file << " " << key << "." << name << ": median " << *fresh
-           << " vs baseline " << *base << " (tolerance +/-"
-           << tolerance * 100.0 << "%)";
+           << " vs baseline " << *base;
+        if (*base != 0.0) {
+          std::ostringstream ratio;
+          ratio.precision(4);
+          ratio << std::fixed << (*fresh / *base) << " (allowed "
+                << 1.0 - tolerance << ".." << 1.0 + tolerance << ")";
+          os << " -> ratio " << ratio.str();
+        } else {
+          os << " (baseline median is 0: any nonzero fresh median fails)";
+        }
         fail(os.str());
       }
     }
